@@ -1,0 +1,34 @@
+//! Ablation A2 — user-level asynchronous memcpy and the pinning-cost
+//! crossover (§7: "the usefulness of the copy engine becomes questionable
+//! if the pinning cost exceeds the copy cost").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ioat_memsim::{AddressAllocator, DmaConfig, DmaEngine, DmaRequest};
+use ioat_simcore::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abl_async_memcpy");
+    for pin_ns in [25u64, 1_000] {
+        g.bench_function(format!("abl_copy_cost_model_pin{pin_ns}ns"), |b| {
+            b.iter(|| {
+                let cfg = DmaConfig {
+                    pin_per_page: SimDuration::from_nanos(pin_ns),
+                    ..DmaConfig::default()
+                };
+                let engine = DmaEngine::new(cfg, None);
+                let mut alloc = AddressAllocator::new();
+                (0..=6)
+                    .map(|i| {
+                        let size = 1024u64 << i;
+                        let req = DmaRequest::new(alloc.alloc(size), alloc.alloc(size));
+                        engine.total_cost(&req)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [all|fig3a|fig3b|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|
+//!        fig10a|fig10b|fig11a|fig11b|fig12|abl-mq|abl-copy] [--quick]
+//! ```
+//!
+//! `--quick` uses short measurement windows (for smoke tests); the
+//! default windows match `EXPERIMENTS.md`.
+
+use ioat_bench as figs;
+use ioat_core::metrics::ExperimentWindow;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let window = if quick {
+        ExperimentWindow::quick()
+    } else {
+        ExperimentWindow::standard()
+    };
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
+
+    if want("fig3a") {
+        figs::fig3a(window);
+    }
+    if want("fig3b") {
+        figs::fig3b(window);
+    }
+    if want("fig4") {
+        figs::fig4(window);
+    }
+    if want("fig5a") {
+        figs::fig5a(window);
+    }
+    if want("fig5b") {
+        figs::fig5b(window);
+    }
+    if want("fig6") {
+        figs::fig6();
+    }
+    if want("fig7") {
+        figs::fig7(window);
+    }
+    if want("fig8a") {
+        figs::fig8a(window);
+    }
+    if want("fig8b") {
+        figs::fig8b(window);
+    }
+    if want("fig9") {
+        figs::fig9(window);
+    }
+    if want("fig10a") {
+        figs::fig10a(window);
+    }
+    if want("fig10b") {
+        figs::fig10b(window);
+    }
+    if want("fig11a") {
+        figs::fig11a(window);
+    }
+    if want("fig11b") {
+        figs::fig11b(window);
+    }
+    if want("fig12") {
+        figs::fig12(window);
+    }
+    if want("abl-mq") {
+        figs::ablation_multiqueue(window);
+    }
+    if want("abl-copy") {
+        figs::ablation_async_memcpy();
+    }
+}

@@ -1,0 +1,489 @@
+//! Figure runners shared by the `repro` binary and the Criterion benches.
+//!
+//! One public function per table/figure of the paper's evaluation
+//! section; each prints the same rows/series the paper reports and
+//! returns them for programmatic use. See `DESIGN.md` §4 for the
+//! experiment index and `EXPERIMENTS.md` for paper-vs-measured records.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use ioat_core::metrics::ExperimentWindow;
+use ioat_core::microbench::{bandwidth, bidirectional, copybench, multistream, sockopts, splitup};
+use ioat_core::IoatConfig;
+use ioat_datacenter::emulated::{self, EmulatedConfig};
+use ioat_datacenter::tiers::{self, DataCenterConfig};
+use ioat_pvfs::harness::{concurrent_read, concurrent_write, multi_stream_read, PvfsConfig};
+
+/// A generic labelled comparison row printed by every figure runner.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// X-axis label (ports, threads, message size, trace, α, ...).
+    pub label: String,
+    /// Non-I/OAT primary metric (Mbps / TPS / MB/s, per figure).
+    pub non_ioat: f64,
+    /// I/OAT primary metric.
+    pub ioat: f64,
+    /// Non-I/OAT CPU utilization (0 when not reported for the figure).
+    pub non_cpu: f64,
+    /// I/OAT CPU utilization.
+    pub ioat_cpu: f64,
+}
+
+impl Row {
+    /// Relative throughput improvement of I/OAT.
+    pub fn improvement(&self) -> f64 {
+        if self.non_ioat == 0.0 {
+            0.0
+        } else {
+            (self.ioat - self.non_ioat) / self.non_ioat
+        }
+    }
+
+    /// The paper's relative CPU benefit.
+    pub fn cpu_benefit(&self) -> f64 {
+        if self.non_cpu == 0.0 {
+            0.0
+        } else {
+            (self.non_cpu - self.ioat_cpu) / self.non_cpu
+        }
+    }
+}
+
+fn print_rows(title: &str, unit: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<16} {:>12} {:>12} {:>8} | {:>9} {:>9} {:>8}",
+        "x", format!("non [{unit}]"), format!("ioat [{unit}]"), "tput+%", "non-cpu%", "ioat-cpu%", "cpu-ben%"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:>12.0} {:>12.0} {:>8.1} | {:>9.1} {:>9.1} {:>8.1}",
+            r.label,
+            r.non_ioat,
+            r.ioat,
+            r.improvement() * 100.0,
+            r.non_cpu * 100.0,
+            r.ioat_cpu * 100.0,
+            r.cpu_benefit() * 100.0
+        );
+    }
+}
+
+/// Fig. 3a — bandwidth vs number of ports.
+pub fn fig3a(window: ExperimentWindow) -> Vec<Row> {
+    let rows: Vec<Row> = (1..=6)
+        .map(|ports| {
+            let mut cfg = bandwidth::BandwidthConfig::paper(ports);
+            cfg.window = window;
+            let c = bandwidth::compare(&cfg);
+            Row {
+                label: format!("{ports} ports"),
+                non_ioat: c.non_ioat.mbps,
+                ioat: c.ioat.mbps,
+                non_cpu: c.non_ioat.rx_cpu,
+                ioat_cpu: c.ioat.rx_cpu,
+            }
+        })
+        .collect();
+    print_rows("Fig 3a: Bandwidth (Mbps) vs ports", "Mbps", &rows);
+    rows
+}
+
+/// Fig. 3b — bi-directional bandwidth vs number of ports.
+pub fn fig3b(window: ExperimentWindow) -> Vec<Row> {
+    let rows: Vec<Row> = (1..=6)
+        .map(|ports| {
+            let mut cfg = bidirectional::BidirConfig::paper(ports);
+            cfg.window = window;
+            let c = bidirectional::compare(&cfg);
+            Row {
+                label: format!("{ports} ports"),
+                non_ioat: c.non_ioat.mbps,
+                ioat: c.ioat.mbps,
+                non_cpu: c.non_ioat.rx_cpu,
+                ioat_cpu: c.ioat.rx_cpu,
+            }
+        })
+        .collect();
+    print_rows("Fig 3b: Bi-directional bandwidth (Mbps) vs ports", "Mbps", &rows);
+    rows
+}
+
+/// Fig. 4 — multi-stream bandwidth vs thread count.
+pub fn fig4(window: ExperimentWindow) -> Vec<Row> {
+    let rows: Vec<Row> = [1usize, 2, 4, 6, 8, 10, 12]
+        .into_iter()
+        .map(|threads| {
+            let mut cfg = multistream::MultiStreamConfig::paper(threads);
+            cfg.window = window;
+            let c = multistream::compare(&cfg);
+            Row {
+                label: format!("{threads} threads"),
+                non_ioat: c.non_ioat.mbps,
+                ioat: c.ioat.mbps,
+                non_cpu: c.non_ioat.rx_cpu,
+                ioat_cpu: c.ioat.rx_cpu,
+            }
+        })
+        .collect();
+    print_rows("Fig 4: Multi-stream bandwidth (Mbps) vs threads", "Mbps", &rows);
+    rows
+}
+
+/// Fig. 5a — bandwidth under socket-optimization Cases 1–5.
+pub fn fig5a(window: ExperimentWindow) -> Vec<Row> {
+    let cfg = sockopts::SweepConfig {
+        ports: 6,
+        window,
+    };
+    let rows: Vec<Row> = sockopts::sweep_bandwidth(&cfg)
+        .into_iter()
+        .map(|r| Row {
+            label: r.case,
+            non_ioat: r.comparison.non_ioat.mbps,
+            ioat: r.comparison.ioat.mbps,
+            non_cpu: r.comparison.non_ioat.rx_cpu,
+            ioat_cpu: r.comparison.ioat.rx_cpu,
+        })
+        .collect();
+    print_rows("Fig 5a: Bandwidth under optimizations (Mbps)", "Mbps", &rows);
+    rows
+}
+
+/// Fig. 5b — bi-directional bandwidth under Cases 1–5.
+pub fn fig5b(window: ExperimentWindow) -> Vec<Row> {
+    let cfg = sockopts::SweepConfig {
+        ports: 6,
+        window,
+    };
+    let rows: Vec<Row> = sockopts::sweep_bidirectional(&cfg)
+        .into_iter()
+        .map(|r| Row {
+            label: r.case,
+            non_ioat: r.comparison.non_ioat.mbps,
+            ioat: r.comparison.ioat.mbps,
+            non_cpu: r.comparison.non_ioat.rx_cpu,
+            ioat_cpu: r.comparison.ioat.rx_cpu,
+        })
+        .collect();
+    print_rows("Fig 5b: Bi-dir bandwidth under optimizations (Mbps)", "Mbps", &rows);
+    rows
+}
+
+/// Fig. 6 — CPU copy vs DMA copy (µs, plus overlap).
+pub fn fig6() -> Vec<copybench::CopyRow> {
+    let t = copybench::table();
+    println!("\n=== Fig 6: CPU-based copy vs DMA-based copy ===");
+    println!(
+        "{:<8} {:>12} {:>14} {:>10} {:>13} {:>8}",
+        "size", "copy-cache", "copy-nocache", "DMA-copy", "DMA-overhead", "overlap%"
+    );
+    for r in &t {
+        println!(
+            "{:<8} {:>12.2} {:>14.2} {:>10.2} {:>13.2} {:>8.1}",
+            ioat_simcore::time::units::fmt_bytes(r.size),
+            r.copy_cache_us,
+            r.copy_nocache_us,
+            r.dma_copy_us,
+            r.dma_overhead_us,
+            r.overlap * 100.0
+        );
+    }
+    t
+}
+
+/// Fig. 7a/7b — feature split-up across message sizes.
+pub fn fig7(window: ExperimentWindow) -> Vec<splitup::SplitupRow> {
+    let cfg = splitup::SplitupConfig {
+        ports: 4,
+        window,
+    };
+    let mut out = Vec::new();
+    println!("\n=== Fig 7: I/OAT split-up (4 ports) ===");
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} | {:>8} {:>9} | {:>9} {:>10}",
+        "size", "non", "dma", "split", "dma-cpu%", "split-cpu%", "dma-tput%", "split-tput%"
+    );
+    for size in splitup::small_sizes().into_iter().chain(splitup::large_sizes()) {
+        let r = splitup::row(&cfg, size);
+        println!(
+            "{:<8} {:>9.0} {:>9.0} {:>9.0} | {:>8.1} {:>9.1} | {:>9.1} {:>10.1}",
+            ioat_simcore::time::units::fmt_bytes(size),
+            r.non_ioat.mbps,
+            r.ioat_dma.mbps,
+            r.ioat_split.mbps,
+            r.dma_cpu_benefit() * 100.0,
+            r.split_cpu_benefit() * 100.0,
+            r.dma_throughput_benefit() * 100.0,
+            r.split_throughput_benefit() * 100.0
+        );
+        out.push(r);
+    }
+    out
+}
+
+/// Fig. 8a — data-center TPS with single-file traces.
+pub fn fig8a(window: ExperimentWindow) -> Vec<Row> {
+    let rows: Vec<Row> = [2u64, 4, 6, 8, 10]
+        .into_iter()
+        .enumerate()
+        .map(|(i, kb)| {
+            let mut non_cfg = DataCenterConfig::paper(IoatConfig::disabled());
+            non_cfg.window = window;
+            let mut ioat_cfg = non_cfg.clone();
+            ioat_cfg.ioat = IoatConfig::full();
+            let non = tiers::run_single_file(&non_cfg, kb * 1024);
+            let ioat = tiers::run_single_file(&ioat_cfg, kb * 1024);
+            Row {
+                label: format!("Trace {} ({kb}K)", i + 1),
+                non_ioat: non.tps,
+                ioat: ioat.tps,
+                non_cpu: non.proxy_cpu,
+                ioat_cpu: ioat.proxy_cpu,
+            }
+        })
+        .collect();
+    print_rows("Fig 8a: Data-center TPS, single-file traces", "TPS", &rows);
+    rows
+}
+
+/// Fig. 8b — data-center TPS with Zipf traces.
+pub fn fig8b(window: ExperimentWindow) -> Vec<Row> {
+    let rows: Vec<Row> = [0.95, 0.90, 0.75, 0.50]
+        .into_iter()
+        .map(|alpha| {
+            let mut non_cfg = DataCenterConfig::paper(IoatConfig::disabled());
+            non_cfg.window = window;
+            non_cfg.proxy_cache_bytes = 512 << 20;
+            non_cfg.client_ports = 4;
+            non_cfg.tier_ports = 2;
+            let mut ioat_cfg = non_cfg.clone();
+            ioat_cfg.ioat = IoatConfig::full();
+            let non = tiers::run_zipf(&non_cfg, alpha, 10_000, 2 * 1024);
+            let ioat = tiers::run_zipf(&ioat_cfg, alpha, 10_000, 2 * 1024);
+            Row {
+                label: format!("alpha={alpha}"),
+                non_ioat: non.tps,
+                ioat: ioat.tps,
+                non_cpu: non.proxy_cpu,
+                ioat_cpu: ioat.proxy_cpu,
+            }
+        })
+        .collect();
+    print_rows("Fig 8b: Data-center TPS, Zipf traces", "TPS", &rows);
+    rows
+}
+
+/// Fig. 9 — emulated clients inside the data-center (16 K file).
+pub fn fig9(window: ExperimentWindow) -> Vec<Row> {
+    let rows: Vec<Row> = emulated::paper_thread_counts()
+        .into_iter()
+        .map(|threads| {
+            let mut non_cfg = EmulatedConfig::paper(threads, IoatConfig::disabled());
+            non_cfg.window = window;
+            let mut ioat_cfg = non_cfg;
+            ioat_cfg.ioat = IoatConfig::full();
+            let non = emulated::run(&non_cfg);
+            let ioat = emulated::run(&ioat_cfg);
+            Row {
+                label: format!("{threads} clients"),
+                non_ioat: non.tps,
+                ioat: ioat.tps,
+                non_cpu: non.client_cpu,
+                ioat_cpu: ioat.client_cpu,
+            }
+        })
+        .collect();
+    print_rows("Fig 9: Emulated clients, 16K file (TPS, client CPU)", "TPS", &rows);
+    rows
+}
+
+fn pvfs_fig(
+    title: &str,
+    io_servers: usize,
+    write: bool,
+    window: ExperimentWindow,
+) -> Vec<Row> {
+    let rows: Vec<Row> = (1..=6)
+        .map(|clients| {
+            let mut non_cfg = PvfsConfig::paper(io_servers, clients, IoatConfig::disabled());
+            non_cfg.window = window;
+            let mut ioat_cfg = non_cfg;
+            ioat_cfg.ioat = IoatConfig::full();
+            let (non, ioat) = if write {
+                (concurrent_write(&non_cfg), concurrent_write(&ioat_cfg))
+            } else {
+                (concurrent_read(&non_cfg), concurrent_read(&ioat_cfg))
+            };
+            // The paper reports client CPU for reads, server CPU for
+            // writes (receiver side).
+            let (ncpu, icpu) = if write {
+                (non.server_cpu, ioat.server_cpu)
+            } else {
+                (non.client_cpu, ioat.client_cpu)
+            };
+            Row {
+                label: format!("{clients} clients"),
+                non_ioat: non.mbytes_per_sec,
+                ioat: ioat.mbytes_per_sec,
+                non_cpu: ncpu,
+                ioat_cpu: icpu,
+            }
+        })
+        .collect();
+    print_rows(title, "MB/s", &rows);
+    rows
+}
+
+/// Fig. 10a — PVFS concurrent read, 6 I/O servers.
+pub fn fig10a(window: ExperimentWindow) -> Vec<Row> {
+    pvfs_fig("Fig 10a: PVFS concurrent read, 6 I/O servers", 6, false, window)
+}
+
+/// Fig. 10b — PVFS concurrent read, 5 I/O servers.
+pub fn fig10b(window: ExperimentWindow) -> Vec<Row> {
+    pvfs_fig("Fig 10b: PVFS concurrent read, 5 I/O servers", 5, false, window)
+}
+
+/// Fig. 11a — PVFS concurrent write, 6 I/O servers.
+pub fn fig11a(window: ExperimentWindow) -> Vec<Row> {
+    pvfs_fig("Fig 11a: PVFS concurrent write, 6 I/O servers", 6, true, window)
+}
+
+/// Fig. 11b — PVFS concurrent write, 5 I/O servers.
+pub fn fig11b(window: ExperimentWindow) -> Vec<Row> {
+    pvfs_fig("Fig 11b: PVFS concurrent write, 5 I/O servers", 5, true, window)
+}
+
+/// Fig. 12 — PVFS multi-stream read, 1–64 emulated clients.
+pub fn fig12(window: ExperimentWindow) -> Vec<Row> {
+    let rows: Vec<Row> = [1usize, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .map(|threads| {
+            let mut non_cfg = PvfsConfig::paper(6, 1, IoatConfig::disabled());
+            non_cfg.window = window;
+            let mut ioat_cfg = non_cfg;
+            ioat_cfg.ioat = IoatConfig::full();
+            let non = multi_stream_read(&non_cfg, threads);
+            let ioat = multi_stream_read(&ioat_cfg, threads);
+            Row {
+                label: format!("{threads} clients"),
+                non_ioat: non.mbytes_per_sec,
+                ioat: ioat.mbytes_per_sec,
+                non_cpu: non.client_cpu,
+                ioat_cpu: ioat.client_cpu,
+            }
+        })
+        .collect();
+    print_rows("Fig 12: PVFS multi-stream read (client CPU)", "MB/s", &rows);
+    rows
+}
+
+/// Ablation A1 — the multi-queue feature the paper could not measure
+/// (§2.2.3): multi-stream bandwidth with interrupts spread across cores.
+pub fn ablation_multiqueue(window: ExperimentWindow) -> Vec<Row> {
+    let rows: Vec<Row> = [4usize, 8, 12]
+        .into_iter()
+        .map(|threads| {
+            let mut cfg = multistream::MultiStreamConfig::paper(threads);
+            cfg.window = window;
+            let base = multistream::run(&cfg, IoatConfig::full());
+            let mq = multistream::run(&cfg, IoatConfig::full_with_multi_queue());
+            Row {
+                label: format!("{threads} threads"),
+                non_ioat: base.mbps,
+                ioat: mq.mbps,
+                non_cpu: base.rx_cpu,
+                ioat_cpu: mq.rx_cpu,
+            }
+        })
+        .collect();
+    print_rows(
+        "Ablation A1: I/OAT vs I/OAT+multi-queue (Mbps)",
+        "Mbps",
+        &rows,
+    );
+    rows
+}
+
+/// Ablation A2 — user-level asynchronous memcpy (§7/§8 future work):
+/// where the pinning cost makes the copy engine unattractive.
+pub fn ablation_async_memcpy() -> Vec<copybench::CopyRow> {
+    use ioat_memsim::{AddressAllocator, DmaConfig, DmaEngine, DmaRequest};
+    println!("\n=== Ablation A2: user-level async memcpy, pinning-cost sensitivity ===");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14}",
+        "size", "pin=25ns/page", "pin=250ns/page", "pin=1us/page"
+    );
+    let mut out = Vec::new();
+    for size in copybench::paper_sizes() {
+        let mut cols = Vec::new();
+        for pin_ns in [25u64, 250, 1_000] {
+            let cfg = DmaConfig {
+                pin_per_page: ioat_simcore::SimDuration::from_nanos(pin_ns),
+                ..DmaConfig::default()
+            };
+            let engine = DmaEngine::new(cfg, None);
+            let mut alloc = AddressAllocator::new();
+            let req = DmaRequest::new(alloc.alloc(size), alloc.alloc(size));
+            cols.push(engine.total_cost(&req).as_micros_f64());
+        }
+        println!(
+            "{:<10} {:>14.2} {:>14.2} {:>14.2}",
+            ioat_simcore::time::units::fmt_bytes(size),
+            cols[0],
+            cols[1],
+            cols[2]
+        );
+        out.push(copybench::row(size));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioat_core::metrics::ExperimentWindow;
+
+    #[test]
+    fn row_math_matches_paper_definitions() {
+        let r = Row {
+            label: "x".into(),
+            non_ioat: 8569.0,
+            ioat: 9754.0,
+            non_cpu: 0.60,
+            ioat_cpu: 0.30,
+        };
+        // §5.2.1: 9754 vs 8569 TPS is "14% overall improvement".
+        assert!((r.improvement() - 0.1383).abs() < 1e-3);
+        // §4: 30% vs 60% CPU is a 50% relative benefit.
+        assert!((r.cpu_benefit() - 0.5).abs() < 1e-12);
+        let zero = Row {
+            label: "z".into(),
+            non_ioat: 0.0,
+            ioat: 1.0,
+            non_cpu: 0.0,
+            ioat_cpu: 0.1,
+        };
+        assert_eq!(zero.improvement(), 0.0);
+        assert_eq!(zero.cpu_benefit(), 0.0);
+    }
+
+    #[test]
+    fn fig6_runner_returns_full_table() {
+        let t = fig6();
+        assert_eq!(t.len(), 7);
+        assert!(t.iter().all(|r| r.copy_nocache_us > r.copy_cache_us));
+    }
+
+    #[test]
+    fn quick_windows_run_a_whole_figure() {
+        // Smoke: fig3a at quick windows produces 6 ordered rows.
+        let rows = fig3a(ExperimentWindow::quick());
+        assert_eq!(rows.len(), 6);
+        for w in rows.windows(2) {
+            assert!(w[1].non_ioat > w[0].non_ioat, "bandwidth grows with ports");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Calibration probe: prints paper-scale micro-benchmark numbers next to
+//! the paper's targets so parameter changes can be judged quickly.
+
+use ioat_core::microbench::{bandwidth, bidirectional, multistream, splitup};
+
+fn probe_backlog() {
+    use ioat_core::cluster::{Cluster, NodeConfig};
+    use ioat_core::metrics::ExperimentWindow;
+    use ioat_core::microbench::splitup::{opts_for, SERVER_PROCESS_NS_PER_BYTE};
+    use ioat_core::IoatConfig;
+    let msg = 1u64 << 20;
+    let opts = opts_for(msg);
+    let mut cluster = Cluster::new(1);
+    let c = cluster.add_node(NodeConfig::testbed("c", IoatConfig::dma_only()));
+    let srv = cluster.add_node(NodeConfig::testbed("s", IoatConfig::dma_only()));
+    let pairs = cluster.connect_ports(c, srv, 4, opts.coalescing);
+    for pair in pairs {
+        let (tx, rx) = cluster.open(c, srv, pair, opts);
+        ioat_core::microbench::message_paced(&tx, cluster.sim_mut(), msg);
+        rx.set_recv_credits(1);
+        let rx2 = rx.clone();
+        let mut pending = 0u64;
+        rx.set_handler(move |sim, ev| {
+            if let ioat_netsim::SocketEvent::Delivered(b) = ev {
+                pending += b;
+                if pending >= msg {
+                    pending -= msg;
+                    let work = ioat_simcore::SimDuration::from_nanos(
+                        (msg as f64 * SERVER_PROCESS_NS_PER_BYTE) as u64,
+                    );
+                    let rx3 = rx2.clone();
+                    rx2.compute(sim, work, move |sim| rx3.post_recv(sim));
+                } else {
+                    rx2.post_recv(sim);
+                }
+            }
+        });
+    }
+    ExperimentWindow::standard().execute(&mut cluster, &[c, srv]);
+    let st = cluster.stack(srv).borrow().stats();
+    println!(
+        "backlog probe (dma_only, 1M): peak_backlog={} stalled={} frames={} deliveries={}",
+        st.peak_backlog, st.stalled_frames, st.frames_processed, st.deliveries
+    );
+}
+
+fn main() {
+    probe_backlog();
+    println!("--- Fig 3a: bandwidth vs ports (paper: 5635 Mbps @6; CPU 37% vs 29%, rel 21%) ---");
+    for ports in [1, 3, 6] {
+        let c = bandwidth::compare(&bandwidth::BandwidthConfig::paper(ports));
+        println!(
+            "ports={ports}: non {:5.0} Mbps cpu {:4.1}% | ioat {:5.0} Mbps cpu {:4.1}% | rel {:4.1}%",
+            c.non_ioat.mbps,
+            c.non_ioat.rx_cpu * 100.0,
+            c.ioat.mbps,
+            c.ioat.rx_cpu * 100.0,
+            c.relative_cpu_benefit() * 100.0
+        );
+    }
+
+    println!("--- Fig 3b: bidir (paper: ~9600 Mbps @6; CPU 90% vs 70%, rel 22%) ---");
+    for ports in [2, 6] {
+        let c = bidirectional::compare(&bidirectional::BidirConfig::paper(ports));
+        println!(
+            "ports={ports}: non {:5.0} Mbps cpu {:4.1}% | ioat {:5.0} Mbps cpu {:4.1}% | rel {:4.1}%",
+            c.non_ioat.mbps,
+            c.non_ioat.rx_cpu * 100.0,
+            c.ioat.mbps,
+            c.ioat.rx_cpu * 100.0,
+            c.relative_cpu_benefit() * 100.0
+        );
+    }
+
+    println!("--- Fig 4: multistream (paper @12: non 76% vs ioat 52%, rel 32%, bw dip) ---");
+    for threads in [2, 6, 12] {
+        let c = multistream::compare(&multistream::MultiStreamConfig::paper(threads));
+        println!(
+            "threads={threads:2}: non {:5.0} Mbps cpu {:4.1}% | ioat {:5.0} Mbps cpu {:4.1}% | rel {:4.1}%",
+            c.non_ioat.mbps,
+            c.non_ioat.rx_cpu * 100.0,
+            c.ioat.mbps,
+            c.ioat.rx_cpu * 100.0,
+            c.relative_cpu_benefit() * 100.0
+        );
+    }
+
+    println!("--- Fig 7a (paper: DMA ~16% CPU benefit, split ~0, no tput change) ---");
+    let cfg = splitup::SplitupConfig::paper();
+    for size in splitup::small_sizes() {
+        let r = splitup::row(&cfg, size);
+        println!(
+            "msg={:>8}: tput {:5.0}/{:5.0}/{:5.0} Mbps | cpu {:4.1}/{:4.1}/{:4.1}% | dma-cpu {:5.1}% split-cpu {:5.1}%",
+            size,
+            r.non_ioat.mbps,
+            r.ioat_dma.mbps,
+            r.ioat_split.mbps,
+            r.non_ioat.rx_cpu * 100.0,
+            r.ioat_dma.rx_cpu * 100.0,
+            r.ioat_split.rx_cpu * 100.0,
+            r.dma_cpu_benefit() * 100.0,
+            r.split_cpu_benefit() * 100.0
+        );
+    }
+    println!("--- Fig 7b (paper: split +26% tput @1M, decreasing) ---");
+    for size in splitup::large_sizes() {
+        let r = splitup::row(&cfg, size);
+        println!(
+            "msg={:>8}: tput {:5.0}/{:5.0}/{:5.0} Mbps | split-tput {:5.1}% dma-tput {:5.1}%",
+            size,
+            r.non_ioat.mbps,
+            r.ioat_dma.mbps,
+            r.ioat_split.mbps,
+            r.split_throughput_benefit() * 100.0,
+            r.dma_throughput_benefit() * 100.0
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Cluster assembly: nodes, fabrics and connections.
+//!
+//! A [`Cluster`] owns the simulator and the nodes; experiments build one,
+//! wire ports, open connections and run. Nodes are [`HostStack`]s under
+//! the hood — this module only adds the testbed-shaped conveniences.
+
+use crate::calibration;
+use ioat_netsim::stack::{self, HostStack, StackRef};
+use ioat_netsim::{ConnId, IoatConfig, Socket, SocketOpts, StackParams};
+use ioat_simcore::time::Bandwidth;
+use ioat_simcore::{Sim, SimDuration};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Configuration of one node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Diagnostic name.
+    pub name: String,
+    /// Number of CPU cores.
+    pub cores: usize,
+    /// I/OAT feature set.
+    pub ioat: IoatConfig,
+    /// Stack cost parameters.
+    pub params: StackParams,
+}
+
+impl NodeConfig {
+    /// A paper-testbed node (4 cores, calibrated parameters) with the
+    /// given feature set.
+    pub fn testbed(name: &str, ioat: IoatConfig) -> Self {
+        NodeConfig {
+            name: name.to_string(),
+            cores: calibration::TESTBED_CORES,
+            ioat,
+            params: calibration::testbed_params(),
+        }
+    }
+}
+
+/// Handle to a node in a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeHandle(usize);
+
+/// A set of simulated nodes plus the simulator driving them.
+///
+/// ```rust
+/// use ioat_core::{Cluster, NodeConfig};
+/// use ioat_netsim::{IoatConfig, SocketOpts};
+///
+/// let mut cluster = Cluster::new(42);
+/// let a = cluster.add_node(NodeConfig::testbed("a", IoatConfig::full()));
+/// let b = cluster.add_node(NodeConfig::testbed("b", IoatConfig::full()));
+/// let ports = cluster.connect_ports(a, b, 2, true);
+/// let (sa, _sb) = cluster.open(a, b, ports[0], SocketOpts::tuned());
+/// sa.send(cluster.sim_mut(), 100_000);
+/// cluster.run();
+/// ```
+pub struct Cluster {
+    sim: Sim,
+    nodes: Vec<StackRef>,
+    names: HashMap<String, NodeHandle>,
+    next_conn: u64,
+    bandwidth: Bandwidth,
+    latency: SimDuration,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Creates an empty cluster. `seed` is reserved for stochastic
+    /// workloads layered on top; the substrate itself is deterministic.
+    pub fn new(seed: u64) -> Self {
+        let _ = seed;
+        let mut sim = Sim::new();
+        // Generous runaway guard; experiments run millions of events.
+        sim.set_event_limit(2_000_000_000);
+        Cluster {
+            sim,
+            nodes: Vec::new(),
+            names: HashMap::new(),
+            next_conn: 1,
+            bandwidth: calibration::port_bandwidth(),
+            latency: calibration::switch_latency(),
+        }
+    }
+
+    /// Overrides the fabric line rate for subsequently wired ports.
+    pub fn set_bandwidth(&mut self, bw: Bandwidth) {
+        self.bandwidth = bw;
+    }
+
+    /// Overrides the fabric latency for subsequently wired ports.
+    pub fn set_latency(&mut self, latency: SimDuration) {
+        self.latency = latency;
+    }
+
+    /// Adds a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate node names.
+    pub fn add_node(&mut self, cfg: NodeConfig) -> NodeHandle {
+        assert!(
+            !self.names.contains_key(&cfg.name),
+            "duplicate node name {}",
+            cfg.name
+        );
+        let stack = HostStack::with_cache(
+            &cfg.name,
+            cfg.cores,
+            cfg.params,
+            cfg.ioat,
+            calibration::testbed_cache(),
+        );
+        let h = NodeHandle(self.nodes.len());
+        self.names.insert(cfg.name, h);
+        self.nodes.push(stack);
+        h
+    }
+
+    /// The stack behind a handle.
+    pub fn stack(&self, node: NodeHandle) -> &StackRef {
+        &self.nodes[node.0]
+    }
+
+    /// Immutable access to the simulator.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Mutable access to the simulator (for scheduling and running).
+    pub fn sim_mut(&mut self) -> &mut Sim {
+        &mut self.sim
+    }
+
+    /// Wires `n` dedicated port pairs between two nodes (the testbed's
+    /// per-VLAN port pairing). Returns the port-pair indices, usable with
+    /// [`Cluster::open`].
+    pub fn connect_ports(
+        &mut self,
+        a: NodeHandle,
+        b: NodeHandle,
+        n: usize,
+        coalescing: bool,
+    ) -> Vec<PortPair> {
+        (0..n)
+            .map(|_| {
+                let (pa, pb) = stack::wire(
+                    &self.nodes[a.0],
+                    &self.nodes[b.0],
+                    self.bandwidth,
+                    self.latency,
+                    coalescing,
+                );
+                PortPair { a: pa, b: pb }
+            })
+            .collect()
+    }
+
+    /// Opens a connection over a wired port pair; returns the two socket
+    /// endpoints `(on_a, on_b)`.
+    pub fn open(
+        &mut self,
+        a: NodeHandle,
+        b: NodeHandle,
+        ports: PortPair,
+        opts: SocketOpts,
+    ) -> (Socket, Socket) {
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        stack::open_connection(&self.nodes[a.0], &self.nodes[b.0], ports.a, ports.b, opts, id);
+        (
+            Socket::new(Rc::clone(&self.nodes[a.0]), id),
+            Socket::new(Rc::clone(&self.nodes[b.0]), id),
+        )
+    }
+
+    /// Runs the simulation to completion, returning the final instant.
+    pub fn run(&mut self) -> ioat_simcore::SimTime {
+        self.sim.run()
+    }
+
+    /// Runs until `limit`.
+    pub fn run_until(&mut self, limit: ioat_simcore::SimTime) -> ioat_simcore::SimTime {
+        self.sim.run_until(limit)
+    }
+}
+
+/// A wired pair of port indices: `a`'s port and `b`'s port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortPair {
+    /// Port index on the first node.
+    pub a: usize,
+    /// Port index on the second node.
+    pub b: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioat_netsim::SocketEvent;
+    use std::cell::RefCell;
+
+    #[test]
+    fn cluster_builds_and_transfers() {
+        let mut cluster = Cluster::new(1);
+        let a = cluster.add_node(NodeConfig::testbed("a", IoatConfig::disabled()));
+        let b = cluster.add_node(NodeConfig::testbed("b", IoatConfig::full()));
+        let ports = cluster.connect_ports(a, b, 3, true);
+        assert_eq!(ports.len(), 3);
+        let (sa, sb) = cluster.open(a, b, ports[1], SocketOpts::tuned());
+        let got = Rc::new(RefCell::new(0u64));
+        let g = Rc::clone(&got);
+        sb.set_handler(move |_s, ev| {
+            if let SocketEvent::Delivered(n) = ev {
+                *g.borrow_mut() += n;
+            }
+        });
+        sa.send(cluster.sim_mut(), 300_000);
+        cluster.run();
+        assert_eq!(*got.borrow(), 300_000);
+        assert_eq!(cluster.stack(b).borrow().port_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_panic() {
+        let mut cluster = Cluster::new(1);
+        cluster.add_node(NodeConfig::testbed("x", IoatConfig::disabled()));
+        cluster.add_node(NodeConfig::testbed("x", IoatConfig::disabled()));
+    }
+
+    #[test]
+    fn connections_get_unique_ids() {
+        let mut cluster = Cluster::new(1);
+        let a = cluster.add_node(NodeConfig::testbed("a", IoatConfig::disabled()));
+        let b = cluster.add_node(NodeConfig::testbed("b", IoatConfig::disabled()));
+        let ports = cluster.connect_ports(a, b, 1, true);
+        let (s1, _) = cluster.open(a, b, ports[0], SocketOpts::tuned());
+        let (s2, _) = cluster.open(a, b, ports[0], SocketOpts::tuned());
+        assert_ne!(s1.conn(), s2.conn());
+    }
+}

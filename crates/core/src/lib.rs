@@ -1,0 +1,42 @@
+//! `ioat-core` — the I/OAT cluster model and micro-benchmark suite.
+//!
+//! This crate is the reproduction's subject: it assembles the substrates
+//! (`ioat-simcore`, `ioat-memsim`, `ioat-netsim`) into the paper's
+//! two-node testbed and implements §4's micro-benchmarks:
+//!
+//! * [`cluster`] — build nodes and multi-port GigE fabrics
+//!   ([`Cluster`], [`NodeConfig`]).
+//! * [`metrics`] — warm-up/measure experiment windows and result types.
+//! * [`calibration`] — the paper-testbed parameter set and the provenance
+//!   of every constant.
+//! * [`microbench`] — bandwidth (Fig. 3a), bi-directional bandwidth
+//!   (Fig. 3b), multi-stream bandwidth (Fig. 4), the socket-optimization
+//!   sweep (Fig. 5), the CPU-vs-DMA copy comparison (Fig. 6) and the
+//!   feature split-up (Fig. 7).
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use ioat_core::microbench::bandwidth::{self, BandwidthConfig};
+//! use ioat_netsim::IoatConfig;
+//!
+//! let mut cfg = BandwidthConfig::quick_test();
+//! cfg.ports = 2;
+//! let non = bandwidth::run(&cfg, IoatConfig::disabled());
+//! let ioat = bandwidth::run(&cfg, IoatConfig::full());
+//! assert!(ioat.rx_cpu <= non.rx_cpu + 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod calibration;
+pub mod cluster;
+pub mod metrics;
+pub mod microbench;
+
+pub use cluster::{Cluster, NodeConfig, NodeHandle};
+pub use metrics::{ExperimentWindow, ThroughputResult};
+
+// Re-export the configuration types callers need.
+pub use ioat_netsim::{IoatConfig, SocketOpts, StackParams};

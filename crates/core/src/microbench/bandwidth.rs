@@ -1,0 +1,130 @@
+//! Fig. 3a — bandwidth vs number of network ports.
+//!
+//! The `ttcp` bandwidth test: one node streams to the other over 1–6
+//! dedicated GigE port pairs, one connection per port. The receiver's
+//! overall CPU utilization is the paper's headline comparison.
+
+use crate::calibration;
+use crate::cluster::{Cluster, NodeConfig};
+use crate::metrics::{Comparison, ExperimentWindow, ThroughputResult};
+use crate::microbench::stream;
+use ioat_netsim::{IoatConfig, SocketOpts};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a bandwidth run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthConfig {
+    /// Number of dedicated port pairs (the paper sweeps 1–6).
+    pub ports: usize,
+    /// Socket options (the paper's Fig. 3 uses the tuned configuration).
+    pub opts: SocketOpts,
+    /// Measurement window.
+    pub window: ExperimentWindow,
+}
+
+impl BandwidthConfig {
+    /// The paper's configuration at a given port count.
+    pub fn paper(ports: usize) -> Self {
+        assert!(
+            (1..=calibration::TESTBED_PORTS).contains(&ports),
+            "the testbed has 1..=6 ports"
+        );
+        BandwidthConfig {
+            ports,
+            opts: SocketOpts::tuned(),
+            window: ExperimentWindow::standard(),
+        }
+    }
+
+    /// A small, fast configuration for unit tests.
+    pub fn quick_test() -> Self {
+        BandwidthConfig {
+            ports: 1,
+            opts: SocketOpts::tuned(),
+            window: ExperimentWindow::quick(),
+        }
+    }
+}
+
+/// Runs the bandwidth test with the given feature set on both nodes.
+pub fn run(cfg: &BandwidthConfig, ioat: IoatConfig) -> ThroughputResult {
+    let mut cluster = Cluster::new(0xB0);
+    let tx = cluster.add_node(NodeConfig::testbed("sender", ioat));
+    let rx = cluster.add_node(NodeConfig::testbed("receiver", ioat));
+    let pairs = cluster.connect_ports(tx, rx, cfg.ports, cfg.opts.coalescing);
+
+    let hint = cfg.window.to().as_nanos();
+    for pair in pairs {
+        let (s_tx, _s_rx) = cluster.open(tx, rx, pair, cfg.opts);
+        stream(&s_tx, cluster.sim_mut(), hint, 1_000.0);
+    }
+
+    let (from, to) = cfg.window.execute(&mut cluster, &[tx, rx]);
+    let rxs = cluster.stack(rx).borrow();
+    let txs = cluster.stack(tx).borrow();
+    ThroughputResult {
+        mbps: rxs.rx_meter().mbps(to),
+        rx_cpu: rxs.cpu_utilization(from, to),
+        tx_cpu: txs.cpu_utilization(from, to),
+    }
+}
+
+/// Runs both configurations and pairs them.
+pub fn compare(cfg: &BandwidthConfig) -> Comparison {
+    Comparison {
+        non_ioat: run(cfg, IoatConfig::disabled()),
+        ioat: run(cfg, IoatConfig::full()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_port_reaches_near_line_rate() {
+        let r = run(&BandwidthConfig::quick_test(), IoatConfig::disabled());
+        assert!(
+            (800.0..980.0).contains(&r.mbps),
+            "1-port bandwidth {:.0} Mbps",
+            r.mbps
+        );
+        assert!(r.rx_cpu > 0.0 && r.rx_cpu < 1.0);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_ports() {
+        let one = run(&BandwidthConfig::quick_test(), IoatConfig::disabled());
+        let mut cfg = BandwidthConfig::quick_test();
+        cfg.ports = 2;
+        let two = run(&cfg, IoatConfig::disabled());
+        assert!(
+            two.mbps > 1.7 * one.mbps,
+            "2 ports {:.0} vs 1 port {:.0}",
+            two.mbps,
+            one.mbps
+        );
+    }
+
+    #[test]
+    fn ioat_reduces_receiver_cpu() {
+        let mut cfg = BandwidthConfig::quick_test();
+        cfg.ports = 2;
+        let c = compare(&cfg);
+        assert!(
+            c.relative_cpu_benefit() > 0.0,
+            "expected positive CPU benefit, got {:.3} ({:.3} vs {:.3})",
+            c.relative_cpu_benefit(),
+            c.ioat.rx_cpu,
+            c.non_ioat.rx_cpu
+        );
+        // Throughput is wire-bound at 2 ports: roughly equal.
+        assert!((c.ioat.mbps - c.non_ioat.mbps).abs() / c.non_ioat.mbps < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=6 ports")]
+    fn port_count_is_validated() {
+        BandwidthConfig::paper(7);
+    }
+}

@@ -1,0 +1,154 @@
+//! The proxy tier's LRU content cache.
+//!
+//! §3.1: "This content may be cached at the edge server so that
+//! subsequent requests to the same static content may be served from the
+//! cache." Capacity is bounded in bytes; eviction is strict LRU.
+
+use std::collections::HashMap;
+
+/// Byte-bounded LRU cache keyed by document id.
+///
+/// ```rust
+/// use ioat_datacenter::LruCache;
+/// let mut c = LruCache::new(10_000);
+/// c.insert(1, 6_000);
+/// c.insert(2, 6_000); // evicts 1
+/// assert!(!c.contains(1));
+/// assert!(c.lookup(2));
+/// ```
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: u64,
+    used: u64,
+    /// id → (size, last-use tick)
+    entries: HashMap<u32, (u64, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        LruCache {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `id`, updating recency and hit/miss statistics.
+    pub fn lookup(&mut self, id: u32) -> bool {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.1 = self.tick;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Residency check without touching recency or statistics.
+    pub fn contains(&self, id: u32) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Inserts `id` of `size` bytes, evicting least-recently-used entries
+    /// to make room. Documents larger than the whole cache are not cached.
+    pub fn insert(&mut self, id: u32, size: u64) {
+        if size > self.capacity {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.entries.insert(id, (size, self.tick)) {
+            self.used -= old.0;
+        }
+        self.used += size;
+        while self.used > self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, &(_, t))| t)
+                .map(|(&k, _)| k)
+                .expect("used > 0 implies entries exist");
+            let (sz, _) = self.entries.remove(&lru).expect("key just found");
+            self.used -= sz;
+        }
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Hit fraction so far (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Lookups that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = LruCache::new(100);
+        c.insert(1, 40);
+        c.insert(2, 40);
+        assert!(c.lookup(1)); // refresh 1 → 2 is LRU
+        c.insert(3, 40); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.used(), 80);
+    }
+
+    #[test]
+    fn oversized_documents_bypass_the_cache() {
+        let mut c = LruCache::new(100);
+        c.insert(1, 500);
+        assert!(!c.contains(1));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn reinsert_updates_size_accounting() {
+        let mut c = LruCache::new(100);
+        c.insert(1, 60);
+        c.insert(1, 30);
+        assert_eq!(c.used(), 30);
+    }
+
+    #[test]
+    fn hit_rate_tracks_lookups() {
+        let mut c = LruCache::new(100);
+        assert_eq!(c.hit_rate(), 0.0);
+        c.insert(1, 10);
+        assert!(c.lookup(1));
+        assert!(!c.lookup(2));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+}

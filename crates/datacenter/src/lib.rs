@@ -1,0 +1,35 @@
+//! Multi-tier data-center application domain (§3.1, §5 of the paper).
+//!
+//! Builds the paper's two-tier testbed on top of `ioat-netsim`: a cluster
+//! of closed-loop clients fires HTTP-like requests at an Apache-style
+//! proxy tier, which serves from its cache or forwards to the web-server
+//! tier. Reproduces:
+//!
+//! * Fig. 8a — TPS for single-file traces of 2 K–10 K.
+//! * Fig. 8b — TPS for Zipf(α) traces, α ∈ {0.95, 0.9, 0.75, 0.5}.
+//! * Fig. 9 — emulated clients *inside* the data-center (the proxy node
+//!   fires requests at the web server) with 1–256 threads on a 16 K file.
+//!
+//! Modules:
+//!
+//! * [`workload`] — Zipf and single-file trace generators.
+//! * [`msg`] — message framing over the byte-stream sockets.
+//! * [`cache`] — the proxy's LRU content cache.
+//! * [`costs`] — Apache-era per-request CPU cost model.
+//! * [`tiers`] — the two-tier testbed assembly and closed-loop drivers.
+//! * [`emulated`] — the Fig. 9 scenario.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod costs;
+pub mod emulated;
+pub mod msg;
+pub mod tiers;
+pub mod workload;
+
+pub use cache::LruCache;
+pub use costs::DataCenterCosts;
+pub use tiers::{DataCenterConfig, DataCenterResult};
+pub use workload::{FileCatalog, Request, SingleFileTrace, ZipfTrace};

@@ -1,0 +1,6 @@
+//! Message framing over byte-stream sockets.
+//!
+//! Re-exported from [`ioat_netsim::msg`], where the framing lives so the
+//! PVFS domain can share it.
+
+pub use ioat_netsim::msg::{channel, MsgSender};

@@ -1,0 +1,32 @@
+//! Memory-hierarchy models for `ioat-sim`.
+//!
+//! The receiver-side bottleneck the paper attacks is *data movement*: at
+//! multi-gigabit rates the CPU spends its time copying payloads from kernel
+//! to user buffers and stalling on cache misses. This crate models exactly
+//! those mechanisms:
+//!
+//! * [`address`] — a simulated physical address space and page-aligned
+//!   buffer allocator (buffers are *addresses + lengths*, no actual bytes).
+//! * [`cache`] — a set-associative, LRU, write-allocate cache simulator
+//!   used to model the testbed's 2 MB L2 and the split-header
+//!   cache-pollution effect (§2.2.1, Fig. 7b).
+//! * [`copy`] — the CPU `memcpy` cost model: per-line costs depend on
+//!   whether lines hit the cache, reproducing the paper's `copy-cache` vs
+//!   `copy-nocache` gap (Fig. 6).
+//! * [`dma`] — the I/OAT asynchronous DMA copy engine: descriptor startup
+//!   and page-pinning overheads on the host CPU, page-granular transfers on
+//!   a dedicated channel, completion callbacks, and cache-coherence
+//!   invalidation on completion (§2.2.2, Fig. 6).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod address;
+pub mod cache;
+pub mod copy;
+pub mod dma;
+
+pub use address::{AddressAllocator, Buffer, PAGE_SIZE};
+pub use cache::{AccessOutcome, Cache, CacheConfig, CacheStats};
+pub use copy::{CopyCost, CopyParams, CpuCopier};
+pub use dma::{DmaConfig, DmaEngine, DmaEngineRef, DmaRequest};

@@ -1,0 +1,78 @@
+//! Diagnostic: where does receiver CPU time go, I/OAT vs non-I/OAT?
+
+use ioat_netsim::config::{IoatConfig, SocketOpts, StackParams};
+use ioat_netsim::stack::{self, HostStack};
+use ioat_netsim::tcp::ConnId;
+use ioat_simcore::time::Bandwidth;
+use ioat_simcore::{Sim, SimDuration, SimTime};
+
+fn run(ioat: IoatConfig) {
+    let mut sim = Sim::new();
+    sim.set_event_limit(50_000_000);
+    let a = HostStack::new("a", 4, StackParams::default(), ioat);
+    let b = HostStack::new("b", 4, StackParams::default(), ioat);
+    let opts = SocketOpts::tuned();
+    let (pa, pb) = wirepair(&a, &b, opts.coalescing);
+    let conn = stack::open_connection(&a, &b, pa, pb, opts, ConnId(1));
+    stack::app_send(&a, &mut sim, conn, 20_000_000);
+    let end = sim.run();
+    let bs = b.borrow();
+    let stats = bs.stats();
+    println!("== {} ==", ioat.label());
+    println!("  end            : {}", end);
+    println!("  events         : {}", sim.events_executed());
+    println!(
+        "  rx util        : {:.4}",
+        bs.cpu_utilization(SimTime::ZERO, end)
+    );
+    for (i, core) in bs.cores().members().iter().enumerate() {
+        let u = core.borrow().meter().utilization_between(SimTime::ZERO, end);
+        println!("  core{i} util     : {u:.4}");
+    }
+    println!(
+        "  interrupts {} frames {} deliveries {} (dma {}) acks {}",
+        stats.interrupts, stats.frames_processed, stats.deliveries, stats.dma_deliveries, stats.acks
+    );
+    let cache = bs.cache().borrow();
+    println!(
+        "  cache: hits {} misses {} hit_rate {:.3}",
+        cache.stats().hits,
+        cache.stats().misses,
+        cache.stats().hit_rate()
+    );
+    if let Some(dma) = bs.dma() {
+        let d = dma.borrow();
+        println!(
+            "  dma: reqs {} bytes {} busy {}",
+            d.stats().requests,
+            d.stats().bytes,
+            d.channel().borrow().meter().total_busy()
+        );
+    }
+    // Sender-side util too.
+    let asb = a.borrow();
+    println!(
+        "  tx util        : {:.4}",
+        asb.cpu_utilization(SimTime::ZERO, end)
+    );
+}
+
+fn wirepair(
+    a: &stack::StackRef,
+    b: &stack::StackRef,
+    coalescing: bool,
+) -> (usize, usize) {
+    stack::wire(
+        a,
+        b,
+        Bandwidth::from_gbps(1),
+        SimDuration::from_micros(15),
+        coalescing,
+    )
+}
+
+fn main() {
+    run(IoatConfig::disabled());
+    run(IoatConfig::dma_only());
+    run(IoatConfig::full());
+}

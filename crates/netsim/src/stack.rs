@@ -1,0 +1,1126 @@
+//! The host kernel network path — where the paper's receive-side costs
+//! live.
+//!
+//! A [`HostStack`] owns a node's cores, cache, DMA engine, NIC ports and
+//! connections, and charges every step of packet processing to the right
+//! resource:
+//!
+//! * **Sender path** (`app_send` → `pump`): syscall, user→kernel copy
+//!   (skipped with `sendfile`), segmentation (per-MSS on the CPU, or
+//!   per-chunk with TSO), then frames serialize onto the port's link.
+//! * **Receiver path** (`frame_arrived` → interrupt → protocol →
+//!   delivery): the NIC DMAs frames into the kernel buffer for free; the
+//!   interrupt handler pays per-interrupt and per-frame costs plus
+//!   cache-dependent accesses to connection state and headers (the
+//!   split-header feature keeps header accesses in a small hot ring and
+//!   keeps payload lines out of the cache entirely); the kernel→user copy
+//!   is either a CPU `memcpy` through the cache or an asynchronous DMA
+//!   engine copy that leaves the CPU free.
+//! * **ACKs**: cumulative, generated per interrupt batch and after
+//!   deliveries (window updates), charged to the sender's interrupt core.
+//!   ACK frames travel at link latency but are not serialized on the
+//!   reverse link — a documented simplification (≈ 3 % of reverse
+//!   bandwidth at full rate).
+
+use crate::config::{IoatConfig, SocketOpts, StackParams};
+use crate::link::Link;
+use crate::nic::{CoalesceAction, Frame, RxCoalescer};
+use crate::socket::SocketEvent;
+use crate::tcp::{ConnId, RecvState, SendState};
+use ioat_memsim::dma::CacheRef;
+use ioat_memsim::{
+    AddressAllocator, Buffer, Cache, CacheConfig, CpuCopier, DmaEngine, DmaEngineRef, DmaRequest,
+};
+use ioat_simcore::resource::ResourcePool;
+use ioat_simcore::{RateMeter, Sim, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Shared handle to a [`HostStack`].
+pub type StackRef = Rc<RefCell<HostStack>>;
+
+type Handler = Rc<RefCell<dyn FnMut(&mut Sim, SocketEvent)>>;
+
+struct Port {
+    tx: Link,
+    peer: Option<StackRef>,
+    peer_port: usize,
+    coalescer: RxCoalescer,
+    pending_frames: Vec<Frame>,
+}
+
+struct Conn {
+    send: SendState,
+    recv: RecvState,
+    handler: Option<Handler>,
+    delivered: RateMeter,
+}
+
+/// Running stack-level statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackStats {
+    /// Frames that completed protocol processing.
+    pub frames_processed: u64,
+    /// Interrupts taken.
+    pub interrupts: u64,
+    /// Kernel→user deliveries completed.
+    pub deliveries: u64,
+    /// Deliveries that used the DMA engine.
+    pub dma_deliveries: u64,
+    /// ACKs processed on the send side.
+    pub acks: u64,
+    /// Frames that paid the backlog-pressure stall.
+    pub stalled_frames: u64,
+    /// Peak undelivered backlog observed (bytes).
+    pub peak_backlog: u64,
+}
+
+/// A simulated host: cores, cache, optional DMA engine, NIC ports and the
+/// kernel network path connecting them.
+pub struct HostStack {
+    name: String,
+    params: StackParams,
+    ioat: IoatConfig,
+    cores: ResourcePool,
+    cache: CacheRef,
+    copier: CpuCopier,
+    dma: Option<DmaEngineRef>,
+    alloc: AddressAllocator,
+    header_ring: Buffer,
+    header_seq: u64,
+    ports: Vec<Port>,
+    conns: HashMap<ConnId, Conn>,
+    /// Connections with undelivered data or a copy in flight — a proxy
+    /// for the node's runnable receive threads.
+    active_rx: usize,
+    /// Total undelivered (DMA'd but not yet copied to user) bytes across
+    /// all connections — the backlog that competes with hot state for the
+    /// L2.
+    queued_bytes: u64,
+    rx_meter: RateMeter,
+    tx_meter: RateMeter,
+    stats: StackStats,
+}
+
+impl std::fmt::Debug for HostStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostStack")
+            .field("name", &self.name)
+            .field("ioat", &self.ioat)
+            .field("ports", &self.ports.len())
+            .field("conns", &self.conns.len())
+            .finish()
+    }
+}
+
+impl HostStack {
+    /// Creates a node with `cores` CPU cores, the paper's L2 geometry and
+    /// the given feature configuration.
+    pub fn new(name: &str, cores: usize, params: StackParams, ioat: IoatConfig) -> StackRef {
+        Self::with_cache(name, cores, params, ioat, CacheConfig::paper_l2())
+    }
+
+    /// Creates a node with an explicit cache geometry.
+    pub fn with_cache(
+        name: &str,
+        cores: usize,
+        params: StackParams,
+        ioat: IoatConfig,
+        cache_cfg: CacheConfig,
+    ) -> StackRef {
+        let cache: CacheRef = Rc::new(RefCell::new(Cache::new(cache_cfg)));
+        let dma = ioat
+            .dma_engine
+            .then(|| DmaEngine::new_ref(params.dma, Some(Rc::clone(&cache))));
+        let mut alloc = AddressAllocator::new();
+        let header_ring = alloc.alloc(params.header_ring_bytes);
+        Rc::new(RefCell::new(HostStack {
+            name: name.to_string(),
+            params,
+            ioat,
+            cores: ResourcePool::new(&format!("{name}-core"), cores),
+            cache,
+            copier: CpuCopier::new(params.copy),
+            dma,
+            alloc,
+            header_ring,
+            header_seq: 0,
+            ports: Vec::new(),
+            conns: HashMap::new(),
+            active_rx: 0,
+            queued_bytes: 0,
+            rx_meter: RateMeter::new(),
+            tx_meter: RateMeter::new(),
+            stats: StackStats::default(),
+        }))
+    }
+
+    /// Node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Feature configuration.
+    pub fn ioat(&self) -> IoatConfig {
+        self.ioat
+    }
+
+    /// Stack cost parameters.
+    pub fn params(&self) -> &StackParams {
+        &self.params
+    }
+
+    /// The node's core pool (for utilization queries).
+    pub fn cores(&self) -> &ResourcePool {
+        &self.cores
+    }
+
+    /// The node's cache (shared with the DMA engine).
+    pub fn cache(&self) -> &CacheRef {
+        &self.cache
+    }
+
+    /// The DMA engine, if the `dma_engine` feature is on.
+    pub fn dma(&self) -> Option<&DmaEngineRef> {
+        self.dma.as_ref()
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> StackStats {
+        self.stats
+    }
+
+    /// Application-level received-byte meter (goodput).
+    pub fn rx_meter(&self) -> &RateMeter {
+        &self.rx_meter
+    }
+
+    /// Transmitted-payload meter.
+    pub fn tx_meter(&self) -> &RateMeter {
+        &self.tx_meter
+    }
+
+    /// Starts the measurement window on all meters (utilization queries
+    /// take the window explicitly, so only byte meters need this).
+    pub fn begin_measurement(&mut self, at: SimTime) {
+        self.rx_meter.begin_window(at);
+        self.tx_meter.begin_window(at);
+        for conn in self.conns.values_mut() {
+            conn.delivered.begin_window(at);
+        }
+    }
+
+    /// Overall CPU utilization across the node's cores in `[from, to)` —
+    /// the paper's headline metric.
+    pub fn cpu_utilization(&self, from: SimTime, to: SimTime) -> f64 {
+        self.cores.utilization_between(from, to)
+    }
+
+    /// Bytes delivered to applications on this node during the window.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.rx_meter.window_bytes()
+    }
+
+    /// Per-connection delivered throughput in Mbps over the window ending
+    /// at `now`.
+    pub fn conn_mbps(&self, conn: ConnId, now: SimTime) -> f64 {
+        self.conns
+            .get(&conn)
+            .map_or(0.0, |c| c.delivered.mbps(now))
+    }
+
+    /// Adds a NIC port transmitting over `tx`; returns the port index.
+    /// `coalescing` enables the hardware interrupt-coalescing feature on
+    /// the port's receive side.
+    pub fn add_port(&mut self, tx: Link, coalescing: bool) -> usize {
+        let p = &self.params;
+        self.ports.push(Port {
+            tx,
+            peer: None,
+            peer_port: 0,
+            coalescer: RxCoalescer::new(coalescing, p.coalesce_max_frames, p.coalesce_delay),
+            pending_frames: Vec::new(),
+        });
+        self.ports.len() - 1
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    fn core_for_port(&self, port: usize) -> usize {
+        if self.ioat.multi_queue {
+            port % self.cores.len()
+        } else {
+            0
+        }
+    }
+
+    /// The core the application thread serving `conn` is affine to.
+    /// Threads are distributed round-robin, like a multi-threaded server
+    /// pinning one worker per connection.
+    fn app_core_for(&self, conn: ConnId) -> usize {
+        (conn.0 as usize) % self.cores.len()
+    }
+
+    /// Thread wake cost including scheduler contention: each runnable
+    /// receive thread beyond the core count adds a fraction of the base
+    /// cost (longer run queues, context-switch cache damage).
+    fn wake_cost(&self) -> SimDuration {
+        let excess = self.active_rx.saturating_sub(self.cores.len());
+        self.params
+            .wake
+            .mul_f64(1.0 + self.params.sched_contention * excess as f64)
+    }
+
+    /// A receive thread is runnable when undelivered bytes exist beyond
+    /// the copy already in flight — a thread blocked waiting for the DMA
+    /// engine is *not* on the run queue.
+    fn conn_rx_active(c: &Conn) -> bool {
+        c.recv.queued() > c.recv.copying_bytes
+    }
+
+    fn header_access_cost(&mut self, frame: &Frame, rcv_kernel_buf: Buffer) -> SimDuration {
+        let p = self.params;
+        let mut cache = self.cache.borrow_mut();
+        // The NIC's DMA write invalidated the header lines in both modes,
+        // so the first access is a miss either way; split headers confine
+        // that miss to a tiny dedicated ring instead of dragging
+        // payload-region lines into the cache.
+        if self.ioat.split_header {
+            // Headers land in the small dedicated ring; the NIC write
+            // invalidated the lines, so the access misses, but it is
+            // confined and independent of any payload backlog.
+            let off =
+                RecvState::ring_offset(self.header_seq, self.header_ring.len(), p.header_bytes);
+            self.header_seq += p.header_bytes;
+            let slice = self.header_ring.slice(off, p.header_bytes);
+            cache.invalidate_range(slice);
+            let out = cache.access_range(slice);
+            p.line_hit * out.hit_lines + p.line_miss * out.miss_lines
+        } else {
+            // The header sits at the front of the frame's landing slice in
+            // the big cycling kernel buffer — a miss that also drags
+            // payload-bearing lines into the cache. When the undelivered
+            // backlog overflows the L2's headroom, the handler's walk over
+            // interleaved header/payload skb chains turns into dependent
+            // memory stalls (`pollution_stall_per_frame`); split-header
+            // placement is immune to this (Fig. 7b).
+            let len = p.header_bytes.min(frame.payload.max(1));
+            let off = RecvState::ring_offset(
+                frame.seq_end,
+                rcv_kernel_buf.len(),
+                frame.payload.max(len),
+            );
+            let out = cache.access_range(rcv_kernel_buf.slice(off, len));
+            let mut cost = p.line_hit * out.hit_lines + p.line_miss * out.miss_lines;
+            // Effective L2 headroom for backlog is a fraction of the
+            // cache; the stall ramps in past ~10 % occupancy and
+            // saturates at ~40 %.
+            let cap = cache.config().capacity as f64;
+            let pressure =
+                ((self.queued_bytes as f64 - 0.10 * cap) / (0.30 * cap)).clamp(0.0, 1.0);
+            if pressure > 0.0 {
+                self.stats.stalled_frames += 1;
+                cost += p.pollution_stall_per_frame.mul_f64(pressure);
+            }
+            cost
+        }
+    }
+
+    fn state_access_cost(&mut self, state_buf: Buffer) -> SimDuration {
+        let p = self.params;
+        let out = self.cache.borrow_mut().access_range(state_buf);
+        p.line_hit * out.hit_lines + p.line_miss * out.miss_lines
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wiring and connection management (free associated functions on StackRef).
+// ---------------------------------------------------------------------------
+
+/// Connects one port on `a` to one port on `b` with a symmetric duplex
+/// link. Returns `(port_on_a, port_on_b)`.
+pub fn wire(
+    a: &StackRef,
+    b: &StackRef,
+    bandwidth: ioat_simcore::time::Bandwidth,
+    latency: SimDuration,
+    coalescing: bool,
+) -> (usize, usize) {
+    let name_a = a.borrow().name.clone();
+    let name_b = b.borrow().name.clone();
+    let link_ab = Link::new(&format!("{name_a}->{name_b}"), bandwidth, latency);
+    let link_ba = Link::new(&format!("{name_b}->{name_a}"), bandwidth, latency);
+    let ai = a.borrow_mut().add_port(link_ab, coalescing);
+    let bi = b.borrow_mut().add_port(link_ba, coalescing);
+    {
+        let mut sa = a.borrow_mut();
+        sa.ports[ai].peer = Some(Rc::clone(b));
+        sa.ports[ai].peer_port = bi;
+    }
+    {
+        let mut sb = b.borrow_mut();
+        sb.ports[bi].peer = Some(Rc::clone(a));
+        sb.ports[bi].peer_port = ai;
+    }
+    (ai, bi)
+}
+
+/// Opens a full-duplex connection between wired ports `port_a` on `a` and
+/// `port_b` on `b`, with the same socket options at both ends.
+///
+/// # Panics
+///
+/// Panics if the ports are not wired to each other, or if the options are
+/// inconsistent (e.g. `read_size` larger than `rcvbuf`).
+pub fn open_connection(
+    a: &StackRef,
+    b: &StackRef,
+    port_a: usize,
+    port_b: usize,
+    opts: SocketOpts,
+    id: ConnId,
+) -> ConnId {
+    assert!(
+        opts.read_size <= opts.rcvbuf,
+        "read_size must fit in the receive buffer"
+    );
+    assert!(opts.mss() <= opts.rcvbuf, "MSS must fit in the receive buffer");
+    {
+        let sa = a.borrow();
+        let port = &sa.ports[port_a];
+        assert!(
+            port.peer.as_ref().is_some_and(|p| Rc::ptr_eq(p, b)) && port.peer_port == port_b,
+            "ports are not wired to each other"
+        );
+    }
+    install_endpoint(a, port_a, opts, id);
+    install_endpoint(b, port_b, opts, id);
+    id
+}
+
+fn install_endpoint(s: &StackRef, port: usize, opts: SocketOpts, id: ConnId) {
+    let mut st = s.borrow_mut();
+    assert!(
+        !st.conns.contains_key(&id),
+        "connection {id} already exists on {}",
+        st.name
+    );
+    let snd_user = st.alloc.alloc(opts.sndbuf);
+    let snd_kern = st.alloc.alloc(opts.sndbuf);
+    let rcv_kern = st.alloc.alloc(opts.rcvbuf);
+    let rcv_user = st.alloc.alloc(opts.rcvbuf);
+    let state_len = st.params.conn_state_bytes;
+    let state = st.alloc.alloc(state_len);
+    st.conns.insert(
+        id,
+        Conn {
+            send: SendState {
+                opts,
+                port,
+                pending: 0,
+                next_seq: 0,
+                acked_seq: 0,
+                peer_window: opts.rcvbuf,
+                user_buf: snd_user,
+                kernel_buf: snd_kern,
+                waiting_for_drain: false,
+            },
+            recv: RecvState {
+                opts,
+                received_seq: 0,
+                delivered_seq: 0,
+                copying: false,
+                copying_bytes: 0,
+                kernel_buf: rcv_kern,
+                user_buf: rcv_user,
+                state_buf: state,
+                recv_credits: None,
+            },
+            handler: None,
+            delivered: RateMeter::new(),
+        },
+    );
+}
+
+/// Installs the application event handler for `conn` on stack `s`.
+pub fn set_handler<F>(s: &StackRef, conn: ConnId, handler: F)
+where
+    F: FnMut(&mut Sim, SocketEvent) + 'static,
+{
+    let mut st = s.borrow_mut();
+    let c = st.conns.get_mut(&conn).expect("unknown connection");
+    c.handler = Some(Rc::new(RefCell::new(handler)));
+}
+
+/// Switches `conn` from the default tight-receive-loop mode to explicit
+/// read posting with `credits` outstanding reads.
+pub fn set_recv_credits(s: &StackRef, conn: ConnId, credits: u64) {
+    let mut st = s.borrow_mut();
+    let c = st.conns.get_mut(&conn).expect("unknown connection");
+    c.recv.recv_credits = Some(credits);
+}
+
+/// Posts one more read on `conn` (the application finished processing and
+/// called `recv()` again); kicks delivery if data is waiting.
+pub fn add_recv_credit(s: &StackRef, sim: &mut Sim, conn: ConnId) {
+    {
+        let mut st = s.borrow_mut();
+        let c = st.conns.get_mut(&conn).expect("unknown connection");
+        match &mut c.recv.recv_credits {
+            None => {}
+            Some(n) => *n += 1,
+        }
+    }
+    try_deliver(s, sim, conn);
+}
+
+/// Charges `duration` of application compute to the least-loaded core
+/// (the scheduler migrates runnable threads), then runs `then`. Models
+/// per-message application processing (validation, transformation, script
+/// execution).
+pub fn app_compute<F>(s: &StackRef, sim: &mut Sim, conn: ConnId, duration: SimDuration, then: F)
+where
+    F: FnOnce(&mut Sim) + 'static,
+{
+    let _ = conn;
+    let core = {
+        let st = s.borrow();
+        Rc::clone(st.cores.least_loaded(sim.now()))
+    };
+    core.borrow_mut().run_job(sim, duration, then);
+}
+
+fn emit(s: &StackRef, sim: &mut Sim, conn: ConnId, ev: SocketEvent) {
+    let h = s
+        .borrow()
+        .conns
+        .get(&conn)
+        .and_then(|c| c.handler.clone());
+    if let Some(h) = h {
+        (h.borrow_mut())(sim, ev);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sender path.
+// ---------------------------------------------------------------------------
+
+/// Queues `bytes` for transmission on `conn` from the application.
+///
+/// The caller is notified with [`SocketEvent::SendReady`] when everything
+/// queued so far has been sent *and acknowledged*.
+pub fn app_send(s: &StackRef, sim: &mut Sim, conn: ConnId, bytes: u64) {
+    if bytes == 0 {
+        return;
+    }
+    {
+        let mut st = s.borrow_mut();
+        let c = st.conns.get_mut(&conn).expect("unknown connection");
+        c.send.waiting_for_drain = true;
+    }
+    send_chunk(s, sim, conn, bytes);
+}
+
+/// Processes one `send()`-sized chunk: charges the CPU costs, enqueues the
+/// bytes, pumps the window, then schedules the next chunk.
+fn send_chunk(s: &StackRef, sim: &mut Sim, conn: ConnId, remaining: u64) {
+    let (core, cost, chunk) = {
+        let st = s.borrow_mut();
+        let p = st.params;
+        let (opts, user_buf, kernel_buf, seq) = {
+            let c = st.conns.get(&conn).expect("unknown connection");
+            (
+                c.send.opts,
+                c.send.user_buf,
+                c.send.kernel_buf,
+                c.send.next_seq + c.send.pending,
+            )
+        };
+        let chunk = remaining.min(p.tso_chunk).min(opts.sndbuf);
+        let mut cost = p.syscall;
+        if !opts.sendfile {
+            // User→kernel copy through this node's cache.
+            let off_u = RecvState::ring_offset(seq, user_buf.len(), chunk);
+            let off_k = RecvState::ring_offset(seq, kernel_buf.len(), chunk);
+            let copier = st.copier;
+            let cache = Rc::clone(&st.cache);
+            let out = copier.copy(
+                &mut cache.borrow_mut(),
+                user_buf.slice(off_u, chunk),
+                kernel_buf.slice(off_k, chunk),
+            );
+            cost += out.duration;
+        }
+        // Segmentation: per-MSS on the CPU, or one cheap call with TSO.
+        if opts.tso {
+            cost += p.tso_chunk_cost;
+        } else {
+            cost += p.segment_cost * chunk.div_ceil(opts.mss());
+        }
+        let core_idx = st.app_core_for(conn);
+        let core = Rc::clone(st.cores.member(core_idx));
+        (core, cost, chunk)
+    };
+    let s2 = Rc::clone(s);
+    core.borrow_mut().run_job(sim, cost, move |sim| {
+        {
+            let mut st = s2.borrow_mut();
+            if let Some(c) = st.conns.get_mut(&conn) {
+                c.send.pending += chunk;
+            }
+        }
+        pump(&s2, sim, conn);
+        let left = remaining - chunk;
+        if left > 0 {
+            send_chunk(&s2, sim, conn, left);
+        }
+    });
+}
+
+/// Pushes as many frames as the window allows onto the wire.
+fn pump(s: &StackRef, sim: &mut Sim, conn: ConnId) {
+    loop {
+        let (frame, port, peer, peer_port) = {
+            let mut st = s.borrow_mut();
+            let now = sim.now();
+            let Some(c) = st.conns.get_mut(&conn) else { return };
+            let sendable = c.send.pending.min(c.send.usable_window());
+            if sendable == 0 {
+                return;
+            }
+            let payload = sendable.min(c.send.opts.mss());
+            c.send.pending -= payload;
+            c.send.next_seq += payload;
+            let frame = Frame {
+                conn,
+                payload,
+                seq_end: c.send.next_seq,
+            };
+            let port_idx = c.send.port;
+            st.tx_meter.record(now, payload);
+            let port = &st.ports[port_idx];
+            let peer = Rc::clone(port.peer.as_ref().expect("port not wired"));
+            (frame, port_idx, peer, port.peer_port)
+        };
+        let link = s.borrow().ports[port].tx.clone();
+        let peer2 = Rc::clone(&peer);
+        link.transmit(sim, frame.wire_bytes(), move |sim| {
+            frame_arrived(&peer2, sim, peer_port, frame);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Receiver path.
+// ---------------------------------------------------------------------------
+
+/// A frame has finished arriving at `port` of stack `s` (the NIC has
+/// already DMA'd it into kernel memory — no CPU cost yet).
+pub fn frame_arrived(s: &StackRef, sim: &mut Sim, port: usize, frame: Frame) {
+    let action = {
+        let mut st = s.borrow_mut();
+        let now = sim.now();
+        // The NIC's DMA write lands the payload in kernel memory and
+        // invalidates any stale copies of those lines in the CPU cache —
+        // this is why receive-side copies run cold in practice. With
+        // split headers the aligned header placement keeps the header
+        // ring coherent (the "optimally aligned" benefit of §2.2.1);
+        // without it the header lines are invalidated along with the
+        // payload.
+        if frame.payload > 0 {
+            if let Some(c) = st.conns.get(&frame.conn) {
+                let kbuf = c.recv.kernel_buf;
+                let off = RecvState::ring_offset(frame.seq_end, kbuf.len(), frame.payload);
+                let slice = kbuf.slice(off, frame.payload);
+                st.cache.borrow_mut().invalidate_range(slice);
+            }
+        }
+        let p = &mut st.ports[port];
+        p.pending_frames.push(frame);
+        p.coalescer.on_frame(now)
+    };
+    match action {
+        CoalesceAction::RaiseNow => raise_interrupt(s, sim, port),
+        CoalesceAction::ArmTimer(delay) => {
+            let s2 = Rc::clone(s);
+            sim.schedule(delay, move |sim| {
+                let fire = s2.borrow_mut().ports[port].coalescer.on_timer();
+                if fire {
+                    raise_interrupt(&s2, sim, port);
+                }
+            });
+        }
+        CoalesceAction::Accumulate => {}
+    }
+}
+
+/// Takes the accumulated batch on `port` and runs the interrupt handler on
+/// the designated core: per-interrupt + per-frame costs, then per-frame
+/// protocol processing with cache-dependent state/header/payload accesses.
+fn raise_interrupt(s: &StackRef, sim: &mut Sim, port: usize) {
+    let (core, cost, frames) = {
+        let mut st = s.borrow_mut();
+        let n = st.ports[port].coalescer.take_batch(sim.now());
+        if n == 0 {
+            return;
+        }
+        let frames: Vec<Frame> = st.ports[port].pending_frames.drain(..).collect();
+        debug_assert_eq!(frames.len(), n as usize);
+        let p = st.params;
+        let mut cost = p.irq_cost + p.irq_per_frame * frames.len() as u64;
+        for f in &frames {
+            let (state_buf, kernel_buf) = {
+                let c = st.conns.get(&f.conn).expect("frame for unknown conn");
+                (c.recv.state_buf, c.recv.kernel_buf)
+            };
+            cost += p.proto_base;
+            cost += st.state_access_cost(state_buf);
+            cost += st.header_access_cost(f, kernel_buf);
+        }
+        st.stats.interrupts += 1;
+        st.stats.frames_processed += frames.len() as u64;
+        let core_idx = st.core_for_port(port);
+        (Rc::clone(st.cores.member(core_idx)), cost, frames)
+    };
+    let s2 = Rc::clone(s);
+    core.borrow_mut().run_job(sim, cost, move |sim| {
+        // Protocol processing done: advance streams, ACK, deliver.
+        let mut acks: Vec<(ConnId, u64, u64)> = Vec::new();
+        {
+            let mut st = s2.borrow_mut();
+            for f in &frames {
+                let (became_active, grew) = {
+                    let c = st.conns.get_mut(&f.conn).expect("unknown conn");
+                    let was_active = HostStack::conn_rx_active(c);
+                    let before = c.recv.received_seq;
+                    c.recv.received_seq = c.recv.received_seq.max(f.seq_end);
+                    (
+                        !was_active && HostStack::conn_rx_active(c),
+                        c.recv.received_seq - before,
+                    )
+                };
+                if became_active {
+                    st.active_rx += 1;
+                }
+                st.queued_bytes += grew;
+                if st.queued_bytes > st.stats.peak_backlog {
+                    st.stats.peak_backlog = st.queued_bytes;
+                }
+            }
+            for f in &frames {
+                let c = &st.conns[&f.conn];
+                let entry = (f.conn, c.recv.received_seq, c.recv.advertised_window());
+                if !acks.iter().any(|a| a.0 == f.conn) {
+                    acks.push(entry);
+                }
+            }
+        }
+        for (conn, seq, window) in acks {
+            send_ack(&s2, sim, conn, seq, window);
+            try_deliver(&s2, sim, conn);
+        }
+    });
+}
+
+/// Sends a cumulative ACK + window update back to the peer. ACKs travel at
+/// link latency without occupying the reverse serializer (documented
+/// simplification).
+fn send_ack(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window: u64) {
+    let (peer, latency) = {
+        let st = s.borrow();
+        let Some(c) = st.conns.get(&conn) else { return };
+        let port = &st.ports[c.send.port];
+        (
+            Rc::clone(port.peer.as_ref().expect("port not wired")),
+            port.tx.latency(),
+        )
+    };
+    let peer2 = Rc::clone(&peer);
+    sim.schedule(latency, move |sim| {
+        ack_received(&peer2, sim, conn, seq, window);
+    });
+}
+
+/// Sender-side ACK processing: charged to the interrupt core, then the
+/// window reopens and more frames go out.
+pub fn ack_received(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window: u64) {
+    let (core, cost) = {
+        let mut st = s.borrow_mut();
+        if !st.conns.contains_key(&conn) {
+            return;
+        }
+        st.stats.acks += 1;
+        let port = st.conns[&conn].send.port;
+        let core_idx = st.core_for_port(port);
+        (Rc::clone(st.cores.member(core_idx)), st.params.ack_cost)
+    };
+    let s2 = Rc::clone(s);
+    core.borrow_mut().run_job(sim, cost, move |sim| {
+        let drained = {
+            let mut st = s2.borrow_mut();
+            let Some(c) = st.conns.get_mut(&conn) else { return };
+            c.send.on_ack(seq, window);
+            c.send.drained() && c.send.waiting_for_drain
+        };
+        pump(&s2, sim, conn);
+        if drained {
+            let still_drained = {
+                let mut st = s2.borrow_mut();
+                let c = st.conns.get_mut(&conn).expect("unknown conn");
+                if c.send.drained() {
+                    c.send.waiting_for_drain = false;
+                    true
+                } else {
+                    false
+                }
+            };
+            if still_drained {
+                emit(&s2, sim, conn, SocketEvent::SendReady);
+            }
+        }
+    });
+}
+
+/// Starts a kernel→user delivery for `conn` if bytes are queued and no
+/// copy is in progress.
+fn try_deliver(s: &StackRef, sim: &mut Sim, conn: ConnId) {
+    enum Plan {
+        Cpu {
+            core: ioat_simcore::ResourceRef,
+            cost: SimDuration,
+            bytes: u64,
+        },
+        Dma {
+            core: ioat_simcore::ResourceRef,
+            overhead: SimDuration,
+            req: DmaRequest,
+            engine: DmaEngineRef,
+            bytes: u64,
+        },
+    }
+
+    let plan = {
+        let mut st = s.borrow_mut();
+        let Some(c) = st.conns.get_mut(&conn) else { return };
+        let queued = c.recv.queued();
+        if c.recv.copying || queued == 0 {
+            return;
+        }
+        // The application must have a read posted; while it is busy
+        // processing, arriving data backs up in the kernel buffer.
+        match &mut c.recv.recv_credits {
+            None => {}
+            Some(0) => return,
+            Some(n) => *n -= 1,
+        }
+        let bytes = queued.min(c.recv.opts.read_size);
+        let was_active = HostStack::conn_rx_active(c);
+        c.recv.copying = true;
+        c.recv.copying_bytes = bytes;
+        let deactivated = was_active && !HostStack::conn_rx_active(c);
+        let src_off = RecvState::ring_offset(c.recv.delivered_seq, c.recv.kernel_buf.len(), bytes);
+        let dst_off = RecvState::ring_offset(c.recv.delivered_seq, c.recv.user_buf.len(), bytes);
+        let src = c.recv.kernel_buf.slice(src_off, bytes);
+        let dst = c.recv.user_buf.slice(dst_off, bytes);
+        if deactivated {
+            st.active_rx -= 1;
+        }
+        let p = st.params;
+        let wake = st.wake_cost() + p.syscall;
+        let use_dma = st.ioat.dma_engine && bytes >= p.dma_min_bytes;
+        if use_dma {
+            let engine = Rc::clone(st.dma.as_ref().expect("dma enabled without engine"));
+            let req = DmaRequest::new(src, dst);
+            // Kernel receive path: the socket buffer is pinned kernel
+            // memory, only the user destination pages pay pinning.
+            let overhead = wake + engine.borrow().cpu_overhead_prepinned_src(&req);
+            st.stats.dma_deliveries += 1;
+            // The scheduler migrates runnable receive threads away from
+            // busy cores, so deliveries dispatch least-loaded.
+            let core = Rc::clone(st.cores.least_loaded(sim.now()));
+            Plan::Dma {
+                core,
+                overhead,
+                req,
+                engine,
+                bytes,
+            }
+        } else {
+            let copier = st.copier;
+            let cache = Rc::clone(&st.cache);
+            let out = copier.copy(&mut cache.borrow_mut(), src, dst);
+            let core = Rc::clone(st.cores.least_loaded(sim.now()));
+            Plan::Cpu {
+                core,
+                cost: wake + out.duration,
+                bytes,
+            }
+        }
+    };
+
+    match plan {
+        Plan::Cpu { core, cost, bytes } => {
+            let s2 = Rc::clone(s);
+            core.borrow_mut().run_job(sim, cost, move |sim| {
+                finish_delivery(&s2, sim, conn, bytes);
+            });
+        }
+        Plan::Dma {
+            core,
+            overhead,
+            req,
+            engine,
+            bytes,
+        } => {
+            let s2 = Rc::clone(s);
+            core.borrow_mut().run_job(sim, overhead, move |sim| {
+                let s3 = Rc::clone(&s2);
+                let engine2 = Rc::clone(&engine);
+                DmaEngine::issue(&engine2, sim, req, move |sim| {
+                    // Reap the completion on the thread's core, then
+                    // deliver.
+                    let (core, cost) = {
+                        let st = s3.borrow();
+                        (
+                            Rc::clone(st.cores.least_loaded(sim.now())),
+                            st.params.dma.completion,
+                        )
+                    };
+                    let s4 = Rc::clone(&s3);
+                    core.borrow_mut().run_job(sim, cost, move |sim| {
+                        finish_delivery(&s4, sim, conn, bytes);
+                    });
+                });
+            });
+        }
+    }
+}
+
+/// Completes a delivery: advances the stream, reopens the receive window
+/// (window-update ACK to the peer), notifies the application and chains
+/// the next delivery.
+fn finish_delivery(s: &StackRef, sim: &mut Sim, conn: ConnId, bytes: u64) {
+    let (seq, window) = {
+        let mut st = s.borrow_mut();
+        let now = sim.now();
+        st.stats.deliveries += 1;
+        st.rx_meter.record(now, bytes);
+        let (out, activity_change) = {
+            let c = st.conns.get_mut(&conn).expect("unknown conn");
+            let was_active = HostStack::conn_rx_active(c);
+            c.recv.delivered_seq += bytes;
+            c.recv.copying = false;
+            c.recv.copying_bytes = 0;
+            c.delivered.record(now, bytes);
+            let is_active = HostStack::conn_rx_active(c);
+            (
+                (c.recv.received_seq, c.recv.advertised_window()),
+                is_active as i64 - was_active as i64,
+            )
+        };
+        match activity_change {
+            1 => st.active_rx += 1,
+            -1 => st.active_rx -= 1,
+            _ => {}
+        }
+        st.queued_bytes -= bytes;
+        out
+    };
+    send_ack(s, sim, conn, seq, window);
+    emit(s, sim, conn, SocketEvent::Delivered(bytes));
+    try_deliver(s, sim, conn);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioat_simcore::time::Bandwidth;
+
+    fn pair(ioat: IoatConfig, opts: SocketOpts) -> (Sim, StackRef, StackRef, ConnId) {
+        let mut sim = Sim::new();
+        sim.set_event_limit(50_000_000);
+        let a = HostStack::new("a", 4, StackParams::default(), ioat);
+        let b = HostStack::new("b", 4, StackParams::default(), ioat);
+        let (pa, pb) = wire(
+            &a,
+            &b,
+            Bandwidth::from_gbps(1),
+            SimDuration::from_micros(15),
+            opts.coalescing,
+        );
+        let id = open_connection(&a, &b, pa, pb, opts, ConnId(1));
+        (sim, a, b, id)
+    }
+
+    #[test]
+    fn bytes_sent_are_delivered_exactly_once() {
+        let (mut sim, a, b, conn) = pair(IoatConfig::disabled(), SocketOpts::tuned());
+        let total = 1_000_000u64;
+        let got = Rc::new(RefCell::new(0u64));
+        let g = Rc::clone(&got);
+        set_handler(&b, conn, move |_sim, ev| {
+            if let SocketEvent::Delivered(n) = ev {
+                *g.borrow_mut() += n;
+            }
+        });
+        app_send(&a, &mut sim, conn, total);
+        sim.run();
+        assert_eq!(*got.borrow(), total);
+        assert_eq!(b.borrow().rx_meter().total_bytes(), total);
+        assert_eq!(a.borrow().tx_meter().total_bytes(), total);
+    }
+
+    #[test]
+    fn send_ready_fires_when_drained() {
+        let (mut sim, a, _b, conn) = pair(IoatConfig::disabled(), SocketOpts::tuned());
+        let ready_at = Rc::new(RefCell::new(None));
+        let r = Rc::clone(&ready_at);
+        set_handler(&a, conn, move |sim, ev| {
+            if matches!(ev, SocketEvent::SendReady) {
+                *r.borrow_mut() = Some(sim.now());
+            }
+        });
+        app_send(&a, &mut sim, conn, 100_000);
+        sim.run();
+        assert!(ready_at.borrow().is_some(), "SendReady must fire");
+    }
+
+    #[test]
+    fn throughput_approaches_line_rate() {
+        // 10 MB over a 1 Gbps link should take ≈ 85 ms; goodput within
+        // ~10 % of the 949 Mbps theoretical TCP goodput.
+        let (mut sim, a, b, conn) = pair(IoatConfig::disabled(), SocketOpts::tuned());
+        let total = 10_000_000u64;
+        b.borrow_mut().begin_measurement(SimTime::ZERO);
+        app_send(&a, &mut sim, conn, total);
+        let end = sim.run();
+        let mbps = b.borrow().rx_meter().mbps(end);
+        assert!(mbps > 850.0, "goodput only {mbps:.0} Mbps");
+        assert!(mbps < 1000.0, "goodput {mbps:.0} Mbps exceeds line rate");
+    }
+
+    #[test]
+    fn ioat_uses_the_dma_engine_for_large_deliveries() {
+        let (mut sim, a, b, conn) = pair(IoatConfig::full(), SocketOpts::tuned());
+        app_send(&a, &mut sim, conn, 1_000_000);
+        sim.run();
+        let stats = b.borrow().stats();
+        assert!(stats.dma_deliveries > 0, "expected DMA deliveries");
+        assert!(b.borrow().dma().unwrap().borrow().stats().bytes > 0);
+    }
+
+    #[test]
+    fn non_ioat_never_touches_a_dma_engine() {
+        let (mut sim, a, b, conn) = pair(IoatConfig::disabled(), SocketOpts::tuned());
+        app_send(&a, &mut sim, conn, 500_000);
+        sim.run();
+        assert!(b.borrow().dma().is_none());
+        assert_eq!(b.borrow().stats().dma_deliveries, 0);
+        assert!(b.borrow().stats().deliveries > 0);
+    }
+
+    #[test]
+    fn ioat_lowers_receiver_cpu_utilization() {
+        // The paper's headline effect, in miniature: same transfer, lower
+        // receiver CPU with I/OAT.
+        let total = 20_000_000u64;
+        let run = |ioat: IoatConfig| {
+            let (mut sim, a, b, conn) = pair(ioat, SocketOpts::tuned());
+            app_send(&a, &mut sim, conn, total);
+            let end = sim.run();
+            let util = b.borrow().cpu_utilization(SimTime::ZERO, end);
+            util
+        };
+        let non = run(IoatConfig::disabled());
+        let ioat = run(IoatConfig::full());
+        assert!(
+            ioat < non,
+            "I/OAT util {ioat:.3} should be below non-I/OAT {non:.3}"
+        );
+    }
+
+    #[test]
+    fn coalescing_reduces_interrupts() {
+        let run = |coalescing: bool| {
+            let opts = SocketOpts {
+                coalescing,
+                ..SocketOpts::tuned()
+            };
+            let (mut sim, a, b, conn) = pair(IoatConfig::disabled(), opts);
+            app_send(&a, &mut sim, conn, 2_000_000);
+            sim.run();
+            let st = b.borrow().stats();
+            (st.interrupts, st.frames_processed)
+        };
+        let (irq_on, frames_on) = run(true);
+        let (irq_off, frames_off) = run(false);
+        assert_eq!(frames_on, frames_off, "same frame count either way");
+        // Explicit coalescing batches harder than the always-on
+        // interrupt throttle (ITR), which already amortizes some frames.
+        assert!(
+            irq_on < irq_off,
+            "coalescing ({irq_on}) must batch more than ITR alone ({irq_off})"
+        );
+    }
+
+    #[test]
+    fn small_window_throttles_throughput() {
+        // A 4 KB window cannot cover the bandwidth-delay product of a
+        // 15 us-latency GigE path, so throughput is throttled well below
+        // line rate — the effect larger socket buffers (Case 2) remove.
+        let small = SocketOpts {
+            sndbuf: 4 * 1024,
+            rcvbuf: 4 * 1024,
+            read_size: 2 * 1024,
+            mtu: 1500,
+            ..SocketOpts::case1()
+        };
+        let (mut sim, a, b, conn) = pair(IoatConfig::disabled(), small);
+        b.borrow_mut().begin_measurement(SimTime::ZERO);
+        app_send(&a, &mut sim, conn, 5_000_000);
+        let end = sim.run();
+        let mbps = b.borrow().rx_meter().mbps(end);
+        assert!(mbps < 700.0, "small window should throttle ({mbps:.0} Mbps)");
+    }
+
+    #[test]
+    #[should_panic(expected = "not wired")]
+    fn connecting_unwired_ports_panics() {
+        let a = HostStack::new("a", 2, StackParams::default(), IoatConfig::disabled());
+        let b = HostStack::new("b", 2, StackParams::default(), IoatConfig::disabled());
+        let la = Link::new("x", Bandwidth::from_gbps(1), SimDuration::ZERO);
+        let lb = Link::new("y", Bandwidth::from_gbps(1), SimDuration::ZERO);
+        a.borrow_mut().add_port(la, false);
+        b.borrow_mut().add_port(lb, false);
+        open_connection(&a, &b, 0, 0, SocketOpts::tuned(), ConnId(9));
+    }
+
+    #[test]
+    fn multiple_connections_share_a_port_fairly() {
+        let mut sim = Sim::new();
+        sim.set_event_limit(50_000_000);
+        let a = HostStack::new("a", 4, StackParams::default(), IoatConfig::disabled());
+        let b = HostStack::new("b", 4, StackParams::default(), IoatConfig::disabled());
+        let (pa, pb) = wire(
+            &a,
+            &b,
+            Bandwidth::from_gbps(1),
+            SimDuration::from_micros(15),
+            true,
+        );
+        let c1 = open_connection(&a, &b, pa, pb, SocketOpts::tuned(), ConnId(1));
+        let c2 = open_connection(&a, &b, pa, pb, SocketOpts::tuned(), ConnId(2));
+        app_send(&a, &mut sim, c1, 4_000_000);
+        app_send(&a, &mut sim, c2, 4_000_000);
+        let end = sim.run();
+        let m1 = b.borrow().conn_mbps(c1, end);
+        let m2 = b.borrow().conn_mbps(c2, end);
+        assert!(m1 > 0.0 && m2 > 0.0);
+        let ratio = m1 / m2;
+        assert!((0.7..1.4).contains(&ratio), "unfair split: {m1:.0} vs {m2:.0}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Simplified TCP connection state.
+//!
+//! The experiments are LAN throughput tests with no loss, so the model
+//! keeps exactly what matters to them: MSS segmentation, a byte-granular
+//! sliding window bounded by the peer's receive buffer, cumulative ACKs
+//! and advertised-window updates. No retransmission, slow start or
+//! congestion control — on the paper's dedicated switch paths TCP runs at
+//! the receiver-limited window from the start.
+
+use crate::config::SocketOpts;
+use ioat_memsim::Buffer;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a connection; both endpoints use the same id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn{}", self.0)
+    }
+}
+
+/// Sender-side per-connection state.
+#[derive(Debug)]
+pub struct SendState {
+    /// Socket options at this endpoint.
+    pub opts: SocketOpts,
+    /// Index of the NIC port this connection is routed over.
+    pub port: usize,
+    /// Bytes the application has queued that are not yet on the wire.
+    pub pending: u64,
+    /// Next sequence number (cumulative bytes handed to the NIC).
+    pub next_seq: u64,
+    /// Highest cumulatively acknowledged byte.
+    pub acked_seq: u64,
+    /// Peer's advertised window (free receive-buffer bytes).
+    pub peer_window: u64,
+    /// Simulated source buffer the app sends from (for sender-side copy
+    /// cache modelling).
+    pub user_buf: Buffer,
+    /// Simulated kernel socket send buffer.
+    pub kernel_buf: Buffer,
+    /// True while the app has asked to be told when the buffer drains.
+    pub waiting_for_drain: bool,
+}
+
+impl SendState {
+    /// Bytes currently in flight (sent, not yet acknowledged).
+    pub fn in_flight(&self) -> u64 {
+        self.next_seq - self.acked_seq
+    }
+
+    /// How many more bytes the window permits on the wire right now.
+    pub fn usable_window(&self) -> u64 {
+        self.peer_window.saturating_sub(self.in_flight())
+    }
+
+    /// Registers an ACK: cumulative `seq` plus the peer's current window.
+    /// Out-of-order (stale) ACKs are ignored.
+    pub fn on_ack(&mut self, seq: u64, window: u64) {
+        if seq >= self.acked_seq {
+            self.acked_seq = seq.min(self.next_seq);
+            self.peer_window = window;
+        }
+    }
+
+    /// True when everything queued has been sent and acknowledged.
+    pub fn drained(&self) -> bool {
+        self.pending == 0 && self.in_flight() == 0
+    }
+}
+
+/// Receiver-side per-connection state.
+#[derive(Debug)]
+pub struct RecvState {
+    /// Socket options at this endpoint.
+    pub opts: SocketOpts,
+    /// Cumulative bytes that finished protocol processing.
+    pub received_seq: u64,
+    /// Cumulative bytes copied to the application.
+    pub delivered_seq: u64,
+    /// True while a kernel→user copy for this connection is in progress.
+    pub copying: bool,
+    /// Bytes covered by the in-flight copy (0 when idle). Queued bytes
+    /// beyond these make the receive thread runnable again.
+    pub copying_bytes: u64,
+    /// Simulated kernel receive buffer (payload landing zone).
+    pub kernel_buf: Buffer,
+    /// Simulated user buffer the app receives into.
+    pub user_buf: Buffer,
+    /// Hot per-connection protocol state (TCB and friends).
+    pub state_buf: Buffer,
+    /// Outstanding `recv()` postings. `None` means the application always
+    /// has a read posted (a tight receive loop); `Some(n)` means `n` more
+    /// deliveries may start before the application posts again — while it
+    /// is busy processing, arriving data backs up in the kernel buffer.
+    pub recv_credits: Option<u64>,
+}
+
+impl RecvState {
+    /// Bytes sitting in the kernel buffer awaiting delivery.
+    pub fn queued(&self) -> u64 {
+        self.received_seq - self.delivered_seq
+    }
+
+    /// The window to advertise: free kernel-buffer space.
+    pub fn advertised_window(&self) -> u64 {
+        self.opts.rcvbuf.saturating_sub(self.queued())
+    }
+
+    /// Cycling offset of cumulative position `seq` within a buffer of
+    /// `buflen` bytes such that a chunk of `chunk` bytes fits without
+    /// wrapping. Keeps the cache footprint of a long-lived stream equal to
+    /// the buffer size, like a real ring.
+    pub fn ring_offset(seq: u64, buflen: u64, chunk: u64) -> u64 {
+        debug_assert!(chunk <= buflen, "chunk {chunk} larger than buffer {buflen}");
+        if buflen == chunk {
+            return 0;
+        }
+        seq % (buflen - chunk + 1)
+    }
+}
+
+/// Cuts `bytes` into MSS-sized frame payloads.
+///
+/// ```rust
+/// use ioat_netsim::tcp::segment_sizes;
+/// assert_eq!(segment_sizes(3000, 1460), vec![1460, 1460, 80]);
+/// assert_eq!(segment_sizes(0, 1460), Vec::<u64>::new());
+/// ```
+pub fn segment_sizes(bytes: u64, mss: u64) -> Vec<u64> {
+    assert!(mss > 0, "MSS must be positive");
+    let mut out = Vec::with_capacity((bytes / mss + 1) as usize);
+    let mut left = bytes;
+    while left > 0 {
+        let take = left.min(mss);
+        out.push(take);
+        left -= take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send_state(window: u64) -> SendState {
+        SendState {
+            opts: SocketOpts::tuned(),
+            port: 0,
+            pending: 0,
+            next_seq: 0,
+            acked_seq: 0,
+            peer_window: window,
+            user_buf: Buffer::new(0, 1024),
+            kernel_buf: Buffer::new(4096, 1024),
+            waiting_for_drain: false,
+        }
+    }
+
+    #[test]
+    fn window_accounting() {
+        let mut s = send_state(10_000);
+        assert_eq!(s.usable_window(), 10_000);
+        s.next_seq = 4_000;
+        assert_eq!(s.in_flight(), 4_000);
+        assert_eq!(s.usable_window(), 6_000);
+        s.on_ack(1_000, 10_000);
+        assert_eq!(s.in_flight(), 3_000);
+        // Shrinking advertised window can make usable window zero.
+        s.on_ack(1_000, 2_000);
+        assert_eq!(s.usable_window(), 0);
+    }
+
+    #[test]
+    fn stale_acks_are_ignored_and_acks_never_pass_next_seq() {
+        let mut s = send_state(10_000);
+        s.next_seq = 5_000;
+        s.on_ack(4_000, 8_000);
+        s.on_ack(3_000, 9_999); // stale: ignored entirely
+        assert_eq!(s.acked_seq, 4_000);
+        assert_eq!(s.peer_window, 8_000);
+        s.on_ack(9_000, 8_000); // beyond next_seq: clamped
+        assert_eq!(s.acked_seq, 5_000);
+    }
+
+    #[test]
+    fn drained_condition() {
+        let mut s = send_state(1_000);
+        assert!(s.drained());
+        s.pending = 10;
+        assert!(!s.drained());
+        s.pending = 0;
+        s.next_seq = 10;
+        assert!(!s.drained());
+        s.on_ack(10, 1_000);
+        assert!(s.drained());
+    }
+
+    #[test]
+    fn recv_window_shrinks_with_queued_bytes() {
+        let mut r = RecvState {
+            opts: SocketOpts::case1(), // 64K rcvbuf
+            received_seq: 0,
+            delivered_seq: 0,
+            copying: false,
+            copying_bytes: 0,
+            kernel_buf: Buffer::new(0, 65_536),
+            user_buf: Buffer::new(1 << 20, 65_536),
+            state_buf: Buffer::new(2 << 20, 320),
+            recv_credits: None,
+        };
+        assert_eq!(r.advertised_window(), 65_536);
+        r.received_seq = 16_384;
+        assert_eq!(r.queued(), 16_384);
+        assert_eq!(r.advertised_window(), 65_536 - 16_384);
+        r.delivered_seq = 16_384;
+        assert_eq!(r.advertised_window(), 65_536);
+    }
+
+    #[test]
+    fn ring_offset_never_overruns() {
+        for seq in (0..100_000u64).step_by(977) {
+            let off = RecvState::ring_offset(seq, 65_536, 16_384);
+            assert!(off + 16_384 <= 65_536);
+        }
+        assert_eq!(RecvState::ring_offset(123, 4_096, 4_096), 0);
+    }
+
+    #[test]
+    fn segmentation_covers_all_bytes() {
+        let segs = segment_sizes(10_000, 1460);
+        assert_eq!(segs.iter().sum::<u64>(), 10_000);
+        assert!(segs[..segs.len() - 1].iter().all(|&s| s == 1460));
+        assert_eq!(segment_sizes(1460, 1460), vec![1460]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for network-stack invariants.
+
+use ioat_netsim::config::{IoatConfig, SocketOpts, StackParams};
+use ioat_netsim::socket::socket_pair;
+use ioat_netsim::stack::HostStack;
+use ioat_netsim::tcp::segment_sizes;
+use ioat_netsim::{ConnId, SocketEvent};
+use ioat_simcore::time::Bandwidth;
+use ioat_simcore::{Sim, SimDuration};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn opts_strategy() -> impl Strategy<Value = SocketOpts> {
+    (
+        prop::sample::select(vec![64 * 1024u64, 256 * 1024, 1024 * 1024]),
+        any::<bool>(),
+        prop::sample::select(vec![1500u64, 2048]),
+        any::<bool>(),
+        any::<bool>(),
+        prop::sample::select(vec![8 * 1024u64, 16 * 1024, 64 * 1024]),
+    )
+        .prop_map(|(buf, tso, mtu, coalescing, sendfile, read_size)| SocketOpts {
+            sndbuf: buf,
+            rcvbuf: buf,
+            tso,
+            mtu,
+            coalescing,
+            sendfile,
+            read_size,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every byte sent is delivered exactly once, under any
+    /// socket-option combination and any feature set.
+    #[test]
+    fn bytes_are_conserved(
+        opts in opts_strategy(),
+        total in 1_000u64..2_000_000,
+        dma in any::<bool>(),
+        split in any::<bool>(),
+    ) {
+        let ioat = IoatConfig { dma_engine: dma, split_header: split, multi_queue: false };
+        let mut sim = Sim::new();
+        sim.set_event_limit(80_000_000);
+        let a = HostStack::new("a", 4, StackParams::default(), ioat);
+        let b = HostStack::new("b", 4, StackParams::default(), ioat);
+        let (sa, sb) = socket_pair(
+            &a,
+            &b,
+            Bandwidth::from_gbps(1),
+            SimDuration::from_micros(15),
+            opts,
+            ConnId(1),
+        );
+        let got = Rc::new(RefCell::new(0u64));
+        let g = Rc::clone(&got);
+        sb.set_handler(move |_s, ev| {
+            if let SocketEvent::Delivered(n) = ev {
+                *g.borrow_mut() += n;
+            }
+        });
+        sa.send(&mut sim, total);
+        sim.run();
+        prop_assert_eq!(*got.borrow(), total);
+        prop_assert_eq!(b.borrow().rx_meter().total_bytes(), total);
+        prop_assert_eq!(a.borrow().tx_meter().total_bytes(), total);
+    }
+
+    /// Flow control: frames processed by the receiver never exceed what
+    /// the advertised window could have allowed, and stats are coherent.
+    #[test]
+    fn receiver_stats_are_coherent(
+        total in 10_000u64..500_000,
+        opts in opts_strategy(),
+    ) {
+        let mut sim = Sim::new();
+        sim.set_event_limit(80_000_000);
+        let a = HostStack::new("a", 4, StackParams::default(), IoatConfig::disabled());
+        let b = HostStack::new("b", 4, StackParams::default(), IoatConfig::disabled());
+        let (sa, _sb) = socket_pair(
+            &a,
+            &b,
+            Bandwidth::from_gbps(1),
+            SimDuration::from_micros(15),
+            opts,
+            ConnId(1),
+        );
+        sa.send(&mut sim, total);
+        sim.run();
+        let st = b.borrow().stats();
+        // Frame count bounds: every frame carries at least one byte and
+        // at most one MSS.
+        prop_assert!(st.frames_processed >= total.div_ceil(opts.mss()));
+        prop_assert!(st.frames_processed <= total);
+        // Interrupts never exceed frames; deliveries never exceed frames.
+        prop_assert!(st.interrupts <= st.frames_processed);
+        prop_assert!(st.deliveries >= 1);
+        prop_assert!(st.deliveries <= st.frames_processed);
+    }
+
+    /// Segmentation covers every byte with MSS-bounded pieces.
+    #[test]
+    fn segmentation_is_exact(bytes in 0u64..10_000_000, mss in 1u64..10_000) {
+        let segs = segment_sizes(bytes, mss);
+        prop_assert_eq!(segs.iter().sum::<u64>(), bytes);
+        prop_assert!(segs.iter().all(|&s| s > 0 && s <= mss));
+        if bytes > 0 {
+            prop_assert_eq!(segs.len() as u64, bytes.div_ceil(mss));
+        }
+    }
+
+    /// Determinism under arbitrary configurations: identical runs give
+    /// bit-identical utilization and byte counts.
+    #[test]
+    fn runs_are_reproducible(
+        opts in opts_strategy(),
+        total in 1_000u64..300_000,
+    ) {
+        let run = || {
+            let mut sim = Sim::new();
+            let a = HostStack::new("a", 4, StackParams::default(), IoatConfig::full());
+            let b = HostStack::new("b", 4, StackParams::default(), IoatConfig::full());
+            let (sa, _sb) = socket_pair(
+                &a,
+                &b,
+                Bandwidth::from_gbps(1),
+                SimDuration::from_micros(15),
+                opts,
+                ConnId(1),
+            );
+            sa.send(&mut sim, total);
+            let end = sim.run();
+            let util = b.borrow().cpu_utilization(ioat_simcore::SimTime::ZERO, end);
+            let bytes = b.borrow().rx_meter().total_bytes();
+            (end, util.to_bits(), bytes)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

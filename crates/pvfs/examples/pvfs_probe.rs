@@ -1,0 +1,42 @@
+//! Paper-scale probe for Figs 10, 11, 12.
+use ioat_core::IoatConfig;
+use ioat_pvfs::harness::{concurrent_read, concurrent_write, multi_stream_read, PvfsConfig};
+
+fn main() {
+    println!("--- Fig 10a: read, 6 servers (paper: non 361->649, ioat 360->731, cpu ben 15%) ---");
+    for clients in [1usize, 2, 4, 6] {
+        let non = concurrent_read(&PvfsConfig::paper(6, clients, IoatConfig::disabled()));
+        let ioat = concurrent_read(&PvfsConfig::paper(6, clients, IoatConfig::full()));
+        println!(
+            "c={clients}: non {:5.0} MB/s cpu {:4.1}% | ioat {:5.0} MB/s cpu {:4.1}% | tput +{:4.1}% cpu-ben {:4.1}%",
+            non.mbytes_per_sec, non.client_cpu * 100.0,
+            ioat.mbytes_per_sec, ioat.client_cpu * 100.0,
+            (ioat.mbytes_per_sec - non.mbytes_per_sec) / non.mbytes_per_sec * 100.0,
+            (non.client_cpu - ioat.client_cpu) / non.client_cpu * 100.0
+        );
+    }
+    println!("--- Fig 11a: write, 6 servers (paper: non 464->697, ioat 460->750, cpu ben 7%) ---");
+    for clients in [1usize, 2, 4, 6] {
+        let non = concurrent_write(&PvfsConfig::paper(6, clients, IoatConfig::disabled()));
+        let ioat = concurrent_write(&PvfsConfig::paper(6, clients, IoatConfig::full()));
+        println!(
+            "c={clients}: non {:5.0} MB/s srv-cpu {:4.1}% | ioat {:5.0} MB/s srv-cpu {:4.1}% | tput +{:4.1}%",
+            non.mbytes_per_sec, non.server_cpu * 100.0,
+            ioat.mbytes_per_sec, ioat.server_cpu * 100.0,
+            (ioat.mbytes_per_sec - non.mbytes_per_sec) / non.mbytes_per_sec * 100.0
+        );
+    }
+    println!("--- Fig 12: multi-stream read (paper: ioat >= non, client cpu ~10% higher for ioat) ---");
+    for threads in [1usize, 4, 16, 64] {
+        let cfg = PvfsConfig::paper(6, 1, IoatConfig::disabled());
+        let non = multi_stream_read(&cfg, threads);
+        let mut cfg2 = cfg;
+        cfg2.ioat = IoatConfig::full();
+        let ioat = multi_stream_read(&cfg2, threads);
+        println!(
+            "n={threads:2}: non {:5.0} MB/s cpu {:4.1}% | ioat {:5.0} MB/s cpu {:4.1}%",
+            non.mbytes_per_sec, non.client_cpu * 100.0,
+            ioat.mbytes_per_sec, ioat.client_cpu * 100.0
+        );
+    }
+}

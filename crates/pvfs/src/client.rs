@@ -1,0 +1,250 @@
+//! Compute-node clients.
+//!
+//! A client opens the file through the metadata manager, then reads or
+//! writes its region as striped pieces with a bounded pipeline of
+//! outstanding requests per process — PVFS flows data in chunks rather
+//! than issuing the whole region at once. Completed bytes feed the
+//! aggregate-bandwidth counter the `pvfs-test` harness reports.
+
+use crate::iod::{IodReply, IodRequest, READ_REQ_BYTES};
+use crate::layout::{Layout, StripePiece};
+use ioat_netsim::msg::MsgSender;
+use ioat_netsim::Socket;
+use ioat_simcore::{Counter, Sim, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Direction of the concurrent test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoMode {
+    /// `pvfs-test` read phase: servers stream to clients.
+    Read,
+    /// `pvfs-test` write phase: clients stream to servers.
+    Write,
+}
+
+/// Per-client driving parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientParams {
+    /// Outstanding piece requests per client process.
+    pub pipeline: usize,
+    /// Fixed client CPU cost to post-process one completed piece.
+    pub piece_base: SimDuration,
+    /// Per-byte client CPU cost (aggregation/validation), picoseconds.
+    pub piece_ps_per_byte: u64,
+}
+
+impl Default for ClientParams {
+    fn default() -> Self {
+        ClientParams {
+            pipeline: 4,
+            piece_base: SimDuration::from_micros(8),
+            piece_ps_per_byte: 400,
+        }
+    }
+}
+
+impl ClientParams {
+    /// Client CPU cost to consume a completed piece of `len` bytes.
+    pub fn piece_cost(&self, len: u64) -> SimDuration {
+        self.piece_base + SimDuration::from_nanos(len * self.piece_ps_per_byte / 1000)
+    }
+}
+
+struct State {
+    pieces: Vec<StripePiece>,
+    next: usize,
+    outstanding: usize,
+    mode: IoMode,
+    params: ClientParams,
+    /// FIFO of issued piece lengths per server (acks return in order).
+    in_flight: Vec<VecDeque<u64>>,
+    done: Rc<RefCell<Counter>>,
+    started: bool,
+}
+
+/// One compute-node client process.
+pub struct ClientProcess {
+    state: Rc<RefCell<State>>,
+    senders: Rc<RefCell<Vec<MsgSender<IodRequest>>>>,
+    socket_for_compute: Socket,
+}
+
+impl std::fmt::Debug for ClientProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.borrow();
+        f.debug_struct("ClientProcess")
+            .field("pieces", &s.pieces.len())
+            .field("outstanding", &s.outstanding)
+            .finish()
+    }
+}
+
+impl ClientProcess {
+    /// Creates a client that will cycle over `[0, region)` of a file with
+    /// the given layout. `done` accumulates completed bytes.
+    /// `socket_for_compute` is any of the client's sockets (used to charge
+    /// processing to the client node).
+    pub fn new(
+        layout: Layout,
+        region: u64,
+        mode: IoMode,
+        params: ClientParams,
+        done: Rc<RefCell<Counter>>,
+        socket_for_compute: Socket,
+    ) -> Self {
+        assert!(params.pipeline > 0, "pipeline must be at least 1");
+        let pieces = layout.pieces(0, region);
+        assert!(!pieces.is_empty(), "region must contain at least one piece");
+        ClientProcess {
+            state: Rc::new(RefCell::new(State {
+                pieces,
+                next: 0,
+                outstanding: 0,
+                mode,
+                params,
+                in_flight: vec![VecDeque::new(); layout.servers],
+                done,
+                started: false,
+            })),
+            senders: Rc::new(RefCell::new(Vec::new())),
+            socket_for_compute,
+        }
+    }
+
+    /// Registers the request sender for server `index` (must be called
+    /// for every server before [`ClientProcess::start`]).
+    pub fn add_server_sender(&self, sender: MsgSender<IodRequest>) {
+        self.senders.borrow_mut().push(sender);
+    }
+
+    /// The reply handler for server `server`'s connection; pass to
+    /// [`crate::iod::serve`]. `conn_sock` is the client endpoint of that
+    /// connection — the handler re-posts its read after processing, so a
+    /// credit-limited connection exerts backpressure while the client
+    /// thread is busy.
+    pub fn reply_handler(
+        &self,
+        server: usize,
+        conn_sock: Socket,
+    ) -> impl FnMut(&mut Sim, IodReply) + 'static {
+        let state = Rc::clone(&self.state);
+        let senders = Rc::clone(&self.senders);
+        let sock = self.socket_for_compute.clone();
+        move |sim, reply| {
+            let (len, cost) = {
+                let mut st = state.borrow_mut();
+                let len = match reply {
+                    IodReply::Data { len } => {
+                        st.in_flight[server].pop_front();
+                        len
+                    }
+                    IodReply::Ack => st.in_flight[server]
+                        .pop_front()
+                        .expect("ack without an in-flight write"),
+                };
+                st.outstanding -= 1;
+                st.done.borrow_mut().add_at(sim.now(), len);
+                (len, st.params.piece_cost(len))
+            };
+            let _ = len;
+            let state2 = Rc::clone(&state);
+            let senders2 = Rc::clone(&senders);
+            let conn2 = conn_sock.clone();
+            sock.compute(sim, cost, move |sim| {
+                conn2.post_recv(sim);
+                issue(&state2, &senders2, sim);
+            });
+        }
+    }
+
+    /// Starts the pipeline (typically from the metadata-open completion).
+    pub fn start(&self, sim: &mut Sim) {
+        {
+            let mut st = self.state.borrow_mut();
+            if st.started {
+                return;
+            }
+            st.started = true;
+        }
+        issue(&self.state, &self.senders, sim);
+    }
+}
+
+fn issue(state: &Rc<RefCell<State>>, senders: &Rc<RefCell<Vec<MsgSender<IodRequest>>>>, sim: &mut Sim) {
+    loop {
+        let action = {
+            let mut st = state.borrow_mut();
+            if st.outstanding >= st.params.pipeline {
+                None
+            } else {
+                let idx = st.next % st.pieces.len();
+                let piece = st.pieces[idx];
+                st.next += 1;
+                st.outstanding += 1;
+                st.in_flight[piece.server].push_back(piece.len);
+                Some((piece, st.mode))
+            }
+        };
+        let Some((piece, mode)) = action else { return };
+        let senders = senders.borrow();
+        let sender = &senders[piece.server];
+        match mode {
+            IoMode::Read => sender.send(sim, READ_REQ_BYTES, IodRequest::Read { len: piece.len }),
+            IoMode::Write => sender.send(sim, piece.len, IodRequest::Write { len: piece.len }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piece_cost_scales() {
+        let p = ClientParams::default();
+        assert!(p.piece_cost(65_536) > p.piece_cost(1_024));
+        assert_eq!(p.piece_cost(0), p.piece_base);
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline")]
+    fn zero_pipeline_rejected() {
+        let done = Rc::new(RefCell::new(Counter::new()));
+        // A throwaway socket is needed; build a minimal pair.
+        let a = ioat_netsim::stack::HostStack::new(
+            "a",
+            2,
+            ioat_netsim::StackParams::default(),
+            ioat_netsim::IoatConfig::disabled(),
+        );
+        let b = ioat_netsim::stack::HostStack::new(
+            "b",
+            2,
+            ioat_netsim::StackParams::default(),
+            ioat_netsim::IoatConfig::disabled(),
+        );
+        let (sock, _) = ioat_netsim::socket::socket_pair(
+            &a,
+            &b,
+            ioat_simcore::time::Bandwidth::from_gbps(1),
+            ioat_simcore::SimDuration::ZERO,
+            ioat_netsim::SocketOpts::tuned(),
+            ioat_netsim::ConnId(1),
+        );
+        let params = ClientParams {
+            pipeline: 0,
+            ..ClientParams::default()
+        };
+        ClientProcess::new(
+            Layout::default_over(2),
+            1 << 20,
+            IoMode::Read,
+            params,
+            done,
+            sock,
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! I/O daemons and the `ramfs` storage model.
+//!
+//! §3.2: "An I/O daemon runs on each I/O node and services requests from
+//! the compute nodes, in particular the read and write requests. Thus,
+//! data is transferred directly between the I/O servers and the compute
+//! nodes." §6.1 configures storage on `ramfs` — memory-resident — so a
+//! read is a page-cache lookup plus `sendfile`, and a write is a memory
+//! copy into the page cache.
+
+use ioat_netsim::msg::{self, MsgSender};
+use ioat_netsim::Socket;
+use ioat_simcore::{Sim, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::rc::Rc;
+
+/// Wire size of a read request.
+pub const READ_REQ_BYTES: u64 = 128;
+/// Wire size of a write acknowledgement.
+pub const WRITE_ACK_BYTES: u64 = 64;
+
+/// Messages a client sends to an I/O daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IodRequest {
+    /// Read `len` bytes of this server's stripe pieces.
+    Read {
+        /// Piece length in bytes.
+        len: u64,
+    },
+    /// The message itself carries `len` bytes to be written.
+    Write {
+        /// Piece length in bytes.
+        len: u64,
+    },
+}
+
+/// Messages an I/O daemon sends back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IodReply {
+    /// The message carries `len` bytes of file data.
+    Data {
+        /// Piece length in bytes.
+        len: u64,
+    },
+    /// A write completed.
+    Ack,
+}
+
+/// `ramfs` + request-handling costs of an I/O daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IodParams {
+    /// Fixed cost to decode and validate a request.
+    pub request_handle: SimDuration,
+    /// Per-byte cost of a `ramfs` read (page-cache lookup + `sendfile`
+    /// descriptor setup; the wire transmission is charged by the stack).
+    pub read_ps_per_byte: u64,
+    /// Per-byte cost of a `ramfs` write (memory copy into the page
+    /// cache).
+    pub write_ps_per_byte: u64,
+}
+
+impl Default for IodParams {
+    fn default() -> Self {
+        IodParams {
+            request_handle: SimDuration::from_micros(12),
+            read_ps_per_byte: 120,
+            write_ps_per_byte: 800,
+        }
+    }
+}
+
+impl IodParams {
+    /// Daemon CPU cost to serve a read of `len` bytes.
+    pub fn read_cost(&self, len: u64) -> SimDuration {
+        self.request_handle + SimDuration::from_nanos(len * self.read_ps_per_byte / 1000)
+    }
+
+    /// Daemon CPU cost to commit a write of `len` bytes.
+    pub fn write_cost(&self, len: u64) -> SimDuration {
+        self.request_handle + SimDuration::from_nanos(len * self.write_ps_per_byte / 1000)
+    }
+}
+
+/// Installs an I/O daemon on the server endpoint of a connection and
+/// returns the client-side request sender; `on_reply` fires at the client
+/// for each data/ack message.
+pub fn serve<F>(
+    client_sock: Socket,
+    server_sock: Socket,
+    params: IodParams,
+    on_reply: F,
+) -> MsgSender<IodRequest>
+where
+    F: FnMut(&mut Sim, IodReply) + 'static,
+{
+    // Replies daemon → client.
+    let reply = Rc::new(msg::channel(
+        server_sock.clone(),
+        client_sock.clone(),
+        on_reply,
+    ));
+    // Requests client → daemon.
+    let server2 = server_sock.clone();
+    msg::channel(client_sock, server_sock, move |sim, req: IodRequest| {
+        let reply2 = Rc::clone(&reply);
+        match req {
+            IodRequest::Read { len } => {
+                server2.compute(sim, params.read_cost(len), move |sim| {
+                    reply2.send(sim, len, IodReply::Data { len });
+                });
+            }
+            IodRequest::Write { len } => {
+                server2.compute(sim, params.write_cost(len), move |sim| {
+                    reply2.send(sim, WRITE_ACK_BYTES, IodReply::Ack);
+                });
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioat_netsim::config::{IoatConfig, SocketOpts, StackParams};
+    use ioat_netsim::socket::socket_pair;
+    use ioat_netsim::stack::HostStack;
+    use ioat_netsim::ConnId;
+    use ioat_simcore::time::Bandwidth;
+    use std::cell::RefCell;
+
+    #[test]
+    fn read_returns_data_write_returns_ack() {
+        let mut sim = ioat_simcore::Sim::new();
+        let c = HostStack::new("cn", 4, StackParams::default(), IoatConfig::disabled());
+        let s = HostStack::new("iod", 4, StackParams::default(), IoatConfig::disabled());
+        let (cs, ss) = socket_pair(
+            &c,
+            &s,
+            Bandwidth::from_gbps(1),
+            SimDuration::from_micros(25),
+            SocketOpts::tuned(),
+            ConnId(1),
+        );
+        let replies = Rc::new(RefCell::new(Vec::new()));
+        let r = Rc::clone(&replies);
+        let sender = serve(cs, ss, IodParams::default(), move |_sim, reply| {
+            r.borrow_mut().push(reply);
+        });
+        sender.send(&mut sim, READ_REQ_BYTES, IodRequest::Read { len: 65_536 });
+        sender.send(&mut sim, 65_536, IodRequest::Write { len: 65_536 });
+        sim.run();
+        let replies = replies.borrow();
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0], IodReply::Data { len: 65_536 });
+        assert_eq!(replies[1], IodReply::Ack);
+    }
+
+    #[test]
+    fn write_costs_more_than_read_per_byte() {
+        let p = IodParams::default();
+        assert!(p.write_cost(65_536) > p.read_cost(65_536));
+        assert_eq!(p.read_cost(0), p.request_handle);
+    }
+}

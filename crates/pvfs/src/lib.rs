@@ -1,0 +1,35 @@
+//! Parallel Virtual File System (PVFS) application domain (§3.2, §6).
+//!
+//! Rebuilds the paper's PVFS deployment on the simulated testbed: a set
+//! of I/O server daemons (one per GigE port, which is how a two-node
+//! testbed hosts "six I/O servers"), a metadata manager, and compute-node
+//! clients that stripe files across the servers. Storage is
+//! memory-resident (`ramfs`), exactly as §6.1 configures it, so the
+//! experiments stress the network path rather than disks.
+//!
+//! Reproduces:
+//!
+//! * Fig. 10a/10b — concurrent-read bandwidth, 6 and 5 I/O servers,
+//!   1–6 compute clients, with client-side CPU benefit.
+//! * Fig. 11a/11b — concurrent-write bandwidth, server-side CPU benefit.
+//! * Fig. 12 — multi-stream read with 1–64 emulated clients.
+//!
+//! Modules:
+//!
+//! * [`layout`] — file striping (64 KB stripes, round-robin).
+//! * [`meta`] — the metadata manager daemon.
+//! * [`iod`] — per-server I/O daemons and the `ramfs` cost model.
+//! * [`client`] — compute-node clients with pipelined stripe requests.
+//! * [`harness`] — the `pvfs-test`-equivalent experiment drivers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod harness;
+pub mod iod;
+pub mod layout;
+pub mod meta;
+
+pub use harness::{concurrent_read, concurrent_write, multi_stream_read, PvfsConfig, PvfsResult};
+pub use layout::{Layout, StripePiece, DEFAULT_STRIPE};

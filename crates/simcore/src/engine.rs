@@ -1,0 +1,364 @@
+//! The discrete-event loop.
+//!
+//! [`Sim`] owns a priority queue of scheduled actions. Each action is a
+//! boxed `FnOnce(&mut Sim)`; model components live in `Rc<RefCell<_>>`
+//! cells that the closures capture. Two events scheduled for the same
+//! instant execute in scheduling order (FIFO tie-break on a monotonically
+//! increasing sequence number), which makes every run bit-reproducible.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// An opaque handle identifying a scheduled event, usable with
+/// [`Sim::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type Action = Box<dyn FnOnce(&mut Sim)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// # Example
+///
+/// ```rust
+/// use ioat_simcore::{Sim, SimDuration};
+/// use std::{cell::RefCell, rc::Rc};
+///
+/// let mut sim = Sim::new();
+/// let order = Rc::new(RefCell::new(Vec::new()));
+///
+/// let o = Rc::clone(&order);
+/// sim.schedule(SimDuration::from_nanos(10), move |_| o.borrow_mut().push("late"));
+/// let o = Rc::clone(&order);
+/// sim.schedule(SimDuration::from_nanos(5), move |_| o.borrow_mut().push("early"));
+///
+/// sim.run();
+/// assert_eq!(*order.borrow(), ["early", "late"]);
+/// ```
+pub struct Sim {
+    now: SimTime,
+    next_seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    /// Seqs of events currently in the queue (not yet fired or cancelled).
+    pending: HashSet<u64>,
+    cancelled: HashSet<u64>,
+    executed: u64,
+    /// Hard cap on executed events; guards against accidental infinite
+    /// event loops in model code.
+    event_limit: u64,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Caps the total number of events this simulator will execute.
+    ///
+    /// Exceeding the cap makes [`Sim::run`] panic, which turns a silent
+    /// infinite event loop in model code into a loud test failure.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Schedules `action` to run `delay` after the current instant.
+    pub fn schedule<F>(&mut self, delay: SimDuration, action: F) -> EventId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Schedules `action` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past; models must never schedule
+    /// backwards in time.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "schedule_at: target {at} is before now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq);
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (and will now never
+    /// fire); `false` if it already executed or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // The heap cannot be searched cheaply; leave a tombstone that the
+        // pop loop skips. Only events still pending can be cancelled.
+        if !self.pending.remove(&id.0) {
+            return false;
+        }
+        self.cancelled.insert(id.0);
+        true
+    }
+
+    fn pop_next(&mut self) -> Option<Scheduled> {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.pending.remove(&ev.seq);
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Runs until the event queue drains. Returns the final instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured event limit is exceeded (see
+    /// [`Sim::set_event_limit`]).
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the queue drains or the next event would fire after
+    /// `limit`. Events at exactly `limit` do execute; the clock never
+    /// advances past `limit` while events remain beyond it.
+    pub fn run_until(&mut self, limit: SimTime) -> SimTime {
+        loop {
+            let Some(next_at) = self.queue.peek().map(|e| e.at) else {
+                break;
+            };
+            if next_at > limit {
+                // Do not execute, but advance to the window edge so callers
+                // can reason about elapsed time.
+                if limit != SimTime::MAX {
+                    self.now = self.now.max(limit);
+                }
+                break;
+            }
+            let Some(ev) = self.pop_next() else { break };
+            debug_assert!(ev.at >= self.now, "event time went backwards");
+            self.now = ev.at;
+            self.executed += 1;
+            assert!(
+                self.executed <= self.event_limit,
+                "event limit {} exceeded at t={} — possible event loop",
+                self.event_limit,
+                self.now
+            );
+            (ev.action)(self);
+        }
+        self.now
+    }
+
+    /// Runs a single event if one is pending, returning `true` if an event
+    /// executed. Useful for fine-grained test assertions.
+    pub fn step(&mut self) -> bool {
+        if let Some(ev) = self.pop_next() {
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.action)(self);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn recorder() -> (Rc<RefCell<Vec<u64>>>, impl Fn(u64) -> Box<dyn FnOnce(&mut Sim)>) {
+        let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let log2 = Rc::clone(&log);
+        let mk = move |tag: u64| -> Box<dyn FnOnce(&mut Sim)> {
+            let log = Rc::clone(&log2);
+            Box::new(move |_s: &mut Sim| log.borrow_mut().push(tag))
+        };
+        (log, mk)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        sim.schedule(SimDuration::from_nanos(30), mk(3));
+        sim.schedule(SimDuration::from_nanos(10), mk(1));
+        sim.schedule(SimDuration::from_nanos(20), mk(2));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_nanos(30));
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        for tag in 0..100 {
+            sim.schedule(SimDuration::from_nanos(5), mk(tag));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling_from_inside_events() {
+        let mut sim = Sim::new();
+        let count = Rc::new(RefCell::new(0u32));
+        let c = Rc::clone(&count);
+        fn tick(sim: &mut Sim, c: Rc<RefCell<u32>>, left: u32) {
+            *c.borrow_mut() += 1;
+            if left > 0 {
+                let c2 = Rc::clone(&c);
+                sim.schedule(SimDuration::from_nanos(7), move |s| tick(s, c2, left - 1));
+            }
+        }
+        sim.schedule(SimDuration::ZERO, move |s| tick(s, c, 9));
+        sim.run();
+        assert_eq!(*count.borrow(), 10);
+        assert_eq!(sim.now(), SimTime::from_nanos(63));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        let keep = sim.schedule(SimDuration::from_nanos(1), mk(1));
+        let drop_id = sim.schedule(SimDuration::from_nanos(2), mk(2));
+        assert!(sim.cancel(drop_id));
+        assert!(!sim.cancel(drop_id), "double-cancel reports false");
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1]);
+        assert!(!sim.cancel(keep), "cancelling an executed event is false");
+    }
+
+    #[test]
+    fn run_until_stops_at_window_edge() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        sim.schedule(SimDuration::from_nanos(10), mk(1));
+        sim.schedule(SimDuration::from_nanos(20), mk(2));
+        sim.schedule(SimDuration::from_nanos(30), mk(3));
+        sim.run_until(SimTime::from_nanos(20));
+        assert_eq!(*log.borrow(), vec![1, 2]);
+        assert_eq!(sim.now(), SimTime::from_nanos(20));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Sim::new();
+        sim.schedule(SimDuration::from_nanos(10), |s| {
+            s.schedule_at(SimTime::from_nanos(5), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_catches_runaway_loops() {
+        let mut sim = Sim::new();
+        sim.set_event_limit(1_000);
+        fn forever(sim: &mut Sim) {
+            sim.schedule(SimDuration::from_nanos(1), forever);
+        }
+        sim.schedule(SimDuration::ZERO, forever);
+        sim.run();
+    }
+
+    #[test]
+    fn step_executes_one_event() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        sim.schedule(SimDuration::from_nanos(1), mk(1));
+        sim.schedule(SimDuration::from_nanos(2), mk(2));
+        assert!(sim.step());
+        assert_eq!(*log.borrow(), vec![1]);
+        assert!(sim.step());
+        assert!(!sim.step());
+    }
+}

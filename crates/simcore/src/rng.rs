@@ -1,0 +1,175 @@
+//! Seedable, reproducible randomness for simulations.
+//!
+//! All stochastic model decisions (workload sampling, think times) draw
+//! from a [`SimRng`]. Experiments construct one from an explicit seed so
+//! every run — and every figure in `EXPERIMENTS.md` — is reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random-number source.
+///
+/// Wraps [`rand::rngs::SmallRng`] and adds the distribution helpers the
+/// workloads need (exponential inter-arrivals, discrete choices). A
+/// `SimRng` can be `fork`ed to give each model component an independent
+/// stream that does not perturb the others when one component draws more.
+///
+/// ```rust
+/// use ioat_simcore::SimRng;
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent stream; the parent advances by one draw.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.gen::<u64>() ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Exponentially distributed value with the given mean (inverse-CDF
+    /// method). A zero or negative mean returns 0.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // 1 - uniform() is in (0, 1]; ln of it is finite.
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Picks an index in `[0, weights.len())` proportional to `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index on empty slice");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_but_deterministic() {
+        let mut parent1 = SimRng::seed_from(1);
+        let mut parent2 = SimRng::seed_from(1);
+        let mut fork1 = parent1.fork();
+        let mut fork2 = parent2.fork();
+        assert_eq!(fork1.next_u64(), fork2.next_u64());
+        assert_ne!(fork1.next_u64(), parent1.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::seed_from(99);
+        let n = 50_000;
+        let mean = 10.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let emp = sum / n as f64;
+        assert!((emp - mean).abs() / mean < 0.03, "empirical mean {emp}");
+        assert_eq!(rng.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1_000 {
+            let v = rng.range(5, 10);
+            assert!((5..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_index_tracks_weights() {
+        let mut rng = SimRng::seed_from(11);
+        let weights = [1.0, 0.0, 3.0];
+        let mut hits = [0u32; 3];
+        for _ in 0..40_000 {
+            hits[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(hits[1], 0);
+        let frac = hits[2] as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-3.0));
+        assert!(rng.chance(4.0));
+    }
+}

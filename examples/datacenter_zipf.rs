@@ -1,0 +1,36 @@
+//! Data-center scenario: a two-tier proxy + web-server testbed serving a
+//! Zipf-distributed static workload with an edge cache, with and without
+//! I/OAT on the server nodes (the paper's §5 environment).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example datacenter_zipf
+//! ```
+
+use ioat_sim::core::IoatConfig;
+use ioat_sim::datacenter::tiers::{run_zipf, DataCenterConfig};
+
+fn main() {
+    println!("two-tier data-center, Zipf(0.9) over 10k documents, 512 MB edge cache");
+    for (name, ioat) in [
+        ("non-I/OAT", IoatConfig::disabled()),
+        ("I/OAT", IoatConfig::full()),
+    ] {
+        let mut cfg = DataCenterConfig::paper(ioat);
+        cfg.proxy_cache_bytes = 512 << 20;
+        cfg.client_ports = 4;
+        cfg.tier_ports = 2;
+        let r = run_zipf(&cfg, 0.9, 10_000, 2 * 1024);
+        println!(
+            "  {name:9}: {:7.0} TPS | proxy CPU {:5.1}% | web CPU {:5.1}% | \
+             cache hit {:4.1}% | p50 {:5.0} us | p99 {:6.0} us",
+            r.tps,
+            r.proxy_cpu * 100.0,
+            r.web_cpu * 100.0,
+            r.cache_hit_rate * 100.0,
+            r.latency_p50_us,
+            r.latency_p99_us,
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! PVFS scenario: six I/O daemons on one node, compute clients on the
+//! other, `pvfs-test`-style concurrent reads and writes over striped
+//! files (the paper's §6 environment).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example pvfs_striping
+//! ```
+
+use ioat_sim::core::IoatConfig;
+use ioat_sim::pvfs::harness::{concurrent_read, concurrent_write, PvfsConfig};
+use ioat_sim::pvfs::Layout;
+
+fn main() {
+    // Show the striping itself first.
+    let layout = Layout::default_over(6);
+    let pieces = layout.pieces(0, 512 * 1024);
+    println!(
+        "a 512 KB request splits into {} stripe pieces over 6 servers:",
+        pieces.len()
+    );
+    for p in pieces.iter().take(4) {
+        println!(
+            "  server {} <- file[{:>7}..{:>7}]",
+            p.server,
+            p.file_offset,
+            p.file_offset + p.len
+        );
+    }
+    println!("  ...");
+
+    for clients in [1usize, 4] {
+        for (name, ioat) in [
+            ("non-I/OAT", IoatConfig::disabled()),
+            ("I/OAT", IoatConfig::full()),
+        ] {
+            let cfg = PvfsConfig::paper(6, clients, ioat);
+            let r = concurrent_read(&cfg);
+            let w = concurrent_write(&cfg);
+            println!(
+                "{clients} client(s) {name:9}: read {:4.0} MB/s (client CPU {:4.1}%) | \
+                 write {:4.0} MB/s (server CPU {:4.1}%)",
+                r.mbytes_per_sec,
+                r.client_cpu * 100.0,
+                w.mbytes_per_sec,
+                w.server_cpu * 100.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! `ioat-sim` — umbrella crate for the ISPASS 2007 I/OAT reproduction.
+//!
+//! This crate re-exports the workspace members so examples and integration
+//! tests can reach the whole system through a single dependency:
+//!
+//! * [`simcore`] — deterministic discrete-event kernel.
+//! * [`memsim`] — cache / copy / DMA-engine models.
+//! * [`netsim`] — links, switch, NIC and TCP/IP stack models.
+//! * [`core`] — the I/OAT cluster model and micro-benchmark suite.
+//! * [`datacenter`] — multi-tier data-center application domain.
+//! * [`pvfs`] — parallel virtual file system application domain.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and per-experiment index.
+
+pub use ioat_core as core;
+pub use ioat_datacenter as datacenter;
+pub use ioat_memsim as memsim;
+pub use ioat_netsim as netsim;
+pub use ioat_pvfs as pvfs;
+pub use ioat_simcore as simcore;

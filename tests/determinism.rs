@@ -1,0 +1,71 @@
+//! Bit-reproducibility: every experiment is a deterministic function of
+//! its configuration. Two runs of anything must agree exactly — this is
+//! what makes the recorded `EXPERIMENTS.md` numbers reproducible on any
+//! machine.
+
+use ioat_sim::core::microbench::{bandwidth, copybench, multistream};
+use ioat_sim::core::IoatConfig;
+use ioat_sim::datacenter::tiers::{self, DataCenterConfig};
+use ioat_sim::pvfs::harness::{concurrent_read, PvfsConfig};
+
+#[test]
+fn bandwidth_runs_are_bit_identical() {
+    let cfg = bandwidth::BandwidthConfig::quick_test();
+    let a = bandwidth::run(&cfg, IoatConfig::full());
+    let b = bandwidth::run(&cfg, IoatConfig::full());
+    assert_eq!(a.mbps.to_bits(), b.mbps.to_bits());
+    assert_eq!(a.rx_cpu.to_bits(), b.rx_cpu.to_bits());
+    assert_eq!(a.tx_cpu.to_bits(), b.tx_cpu.to_bits());
+}
+
+#[test]
+fn multistream_runs_are_bit_identical() {
+    let cfg = multistream::MultiStreamConfig::quick_test(4);
+    let a = multistream::run(&cfg, IoatConfig::disabled());
+    let b = multistream::run(&cfg, IoatConfig::disabled());
+    assert_eq!(a.mbps.to_bits(), b.mbps.to_bits());
+    assert_eq!(a.rx_cpu.to_bits(), b.rx_cpu.to_bits());
+}
+
+#[test]
+fn copy_table_is_pure() {
+    assert_eq!(copybench::table(), copybench::table());
+}
+
+#[test]
+fn datacenter_runs_are_bit_identical_with_same_seed() {
+    let cfg = DataCenterConfig::quick_test(IoatConfig::full());
+    let a = tiers::run_single_file(&cfg, 4 * 1024);
+    let b = tiers::run_single_file(&cfg, 4 * 1024);
+    assert_eq!(a.tps.to_bits(), b.tps.to_bits());
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.latency_p99_us.to_bits(), b.latency_p99_us.to_bits());
+}
+
+#[test]
+fn zipf_workload_is_seeded() {
+    let mut cfg = DataCenterConfig::quick_test(IoatConfig::disabled());
+    cfg.proxy_cache_bytes = 32 << 20;
+    let a = tiers::run_zipf(&cfg, 0.9, 500, 4 * 1024);
+    let b = tiers::run_zipf(&cfg, 0.9, 500, 4 * 1024);
+    assert_eq!(a.tps.to_bits(), b.tps.to_bits());
+    assert_eq!(a.cache_hit_rate.to_bits(), b.cache_hit_rate.to_bits());
+    // A different seed gives a (generally) different trajectory.
+    let mut cfg2 = cfg.clone();
+    cfg2.seed ^= 0xFFFF;
+    let c = tiers::run_zipf(&cfg2, 0.9, 500, 4 * 1024);
+    assert_ne!(a.completed, 0);
+    // TPS may coincide by chance, but the completed counts rarely do;
+    // accept either as long as the run completed.
+    let _ = c;
+}
+
+#[test]
+fn pvfs_runs_are_bit_identical() {
+    let cfg = PvfsConfig::quick_test(2, 3, IoatConfig::full());
+    let a = concurrent_read(&cfg);
+    let b = concurrent_read(&cfg);
+    assert_eq!(a.mbytes_per_sec.to_bits(), b.mbytes_per_sec.to_bits());
+    assert_eq!(a.client_cpu.to_bits(), b.client_cpu.to_bits());
+    assert_eq!(a.opens, b.opens);
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: the full system assembled through the
+//! umbrella crate, exercising every layer from the DES kernel to the
+//! application domains.
+
+use ioat_sim::core::metrics::ExperimentWindow;
+use ioat_sim::core::microbench::{bandwidth, splitup};
+use ioat_sim::core::IoatConfig;
+use ioat_sim::datacenter::emulated::{self, EmulatedConfig};
+use ioat_sim::datacenter::tiers::{self, DataCenterConfig};
+use ioat_sim::pvfs::harness::{concurrent_read, concurrent_write, PvfsConfig};
+
+/// The paper's headline claim end to end: same wire throughput, lower
+/// receiver CPU with I/OAT.
+#[test]
+fn headline_claim_holds_end_to_end() {
+    let mut cfg = bandwidth::BandwidthConfig::quick_test();
+    cfg.ports = 2;
+    let non = bandwidth::run(&cfg, IoatConfig::disabled());
+    let ioat = bandwidth::run(&cfg, IoatConfig::full());
+    // Wire-bound: throughput within 5 %.
+    assert!((ioat.mbps - non.mbps).abs() / non.mbps < 0.05);
+    // CPU benefit: positive and material.
+    let benefit = (non.rx_cpu - ioat.rx_cpu) / non.rx_cpu;
+    assert!(
+        benefit > 0.10,
+        "expected a material CPU benefit, got {benefit:.3}"
+    );
+}
+
+/// Feature attribution matches the paper: the DMA engine provides the CPU
+/// benefit at medium message sizes; split headers add ~nothing there.
+#[test]
+fn feature_attribution_matches_fig7a() {
+    let r = splitup::row(&splitup::SplitupConfig::quick_test(), 64 * 1024);
+    assert!(r.dma_cpu_benefit() > 0.0, "dma {:.3}", r.dma_cpu_benefit());
+    assert!(
+        r.split_cpu_benefit().abs() < 0.05,
+        "split should be ~neutral at 64K, got {:.3}",
+        r.split_cpu_benefit()
+    );
+}
+
+/// The data-center domain runs on top of the same substrate and completes
+/// transactions under both feature sets.
+#[test]
+fn datacenter_round_trips_on_both_configs() {
+    for ioat in [IoatConfig::disabled(), IoatConfig::full()] {
+        let r = tiers::run_single_file(&DataCenterConfig::quick_test(ioat), 4 * 1024);
+        assert!(r.completed > 100, "{:?}: completed {}", ioat, r.completed);
+        assert!(r.latency_p99_us >= r.latency_p50_us);
+    }
+}
+
+/// Under heavy emulated-client load, the I/OAT client sustains at least
+/// the non-I/OAT transaction rate (Fig. 9's direction).
+#[test]
+fn emulated_clients_favor_ioat_under_load() {
+    let non = emulated::run(&EmulatedConfig::quick_test(32, IoatConfig::disabled()));
+    let ioat = emulated::run(&EmulatedConfig::quick_test(32, IoatConfig::full()));
+    assert!(
+        ioat.tps >= non.tps * 0.98,
+        "ioat {:.0} vs non {:.0}",
+        ioat.tps,
+        non.tps
+    );
+}
+
+/// PVFS reads and writes both move data and report CPU on the receiving
+/// side, under both feature sets.
+#[test]
+fn pvfs_reads_and_writes_work_on_both_configs() {
+    for ioat in [IoatConfig::disabled(), IoatConfig::full()] {
+        let cfg = PvfsConfig::quick_test(2, 2, ioat);
+        let r = concurrent_read(&cfg);
+        let w = concurrent_write(&cfg);
+        assert!(r.mbytes_per_sec > 50.0);
+        assert!(w.mbytes_per_sec > 50.0);
+        assert_eq!(r.opens, 2);
+    }
+}
+
+/// PVFS receiver-side CPU benefit appears on the client for reads and on
+/// the server for writes.
+#[test]
+fn pvfs_cpu_benefit_is_receiver_side() {
+    let non_r = concurrent_read(&PvfsConfig::quick_test(2, 4, IoatConfig::disabled()));
+    let ioat_r = concurrent_read(&PvfsConfig::quick_test(2, 4, IoatConfig::full()));
+    assert!(
+        ioat_r.client_cpu < non_r.client_cpu,
+        "read client CPU: ioat {:.3} vs non {:.3}",
+        ioat_r.client_cpu,
+        non_r.client_cpu
+    );
+    let non_w = concurrent_write(&PvfsConfig::quick_test(2, 4, IoatConfig::disabled()));
+    let ioat_w = concurrent_write(&PvfsConfig::quick_test(2, 4, IoatConfig::full()));
+    assert!(
+        ioat_w.server_cpu < non_w.server_cpu,
+        "write server CPU: ioat {:.3} vs non {:.3}",
+        ioat_w.server_cpu,
+        non_w.server_cpu
+    );
+}
+
+/// Experiment windows behave: a longer window measures more bytes but the
+/// same steady-state rate (within tolerance).
+#[test]
+fn rates_are_window_invariant() {
+    let mut short = bandwidth::BandwidthConfig::quick_test();
+    short.window = ExperimentWindow::quick();
+    let mut long = short;
+    long.window = ExperimentWindow {
+        warmup: short.window.warmup,
+        measure: short.window.measure * 3,
+    };
+    let a = bandwidth::run(&short, IoatConfig::disabled());
+    let b = bandwidth::run(&long, IoatConfig::disabled());
+    assert!(
+        (a.mbps - b.mbps).abs() / a.mbps < 0.02,
+        "rates {:.0} vs {:.0}",
+        a.mbps,
+        b.mbps
+    );
+}
