@@ -2,15 +2,17 @@
 //! crossover (§7: "the usefulness of the copy engine becomes questionable
 //! if the pinning cost exceeds the copy cost").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
 use ioat_memsim::{AddressAllocator, DmaConfig, DmaEngine, DmaRequest};
 use ioat_simcore::SimDuration;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("abl_async_memcpy");
+fn main() {
+    group("abl_async_memcpy");
     for pin_ns in [25u64, 1_000] {
-        g.bench_function(format!("abl_copy_cost_model_pin{pin_ns}ns"), |b| {
-            b.iter(|| {
+        bench(
+            &format!("abl_copy_cost_model_pin{pin_ns}ns"),
+            DEFAULT_ITERS,
+            || {
                 let cfg = DmaConfig {
                     pin_per_page: SimDuration::from_nanos(pin_ns),
                     ..DmaConfig::default()
@@ -24,11 +26,7 @@ fn bench(c: &mut Criterion) {
                         engine.total_cost(&req)
                     })
                     .collect::<Vec<_>>()
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,28 +1,23 @@
 //! Ablation A1 — multiple receive queues (the feature §2.2.3 could not
 //! measure on Linux).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
 use ioat_core::metrics::ExperimentWindow;
 use ioat_core::microbench::multistream;
 use ioat_core::IoatConfig;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("abl_multiqueue");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    group("abl_multiqueue");
     for threads in [4usize, 8] {
         let mut cfg = multistream::MultiStreamConfig::quick_test(threads);
         cfg.window = ExperimentWindow::quick();
-        g.bench_function(format!("abl_mq_{threads}t_ioat"), |b| {
-            b.iter(|| multistream::run(&cfg, IoatConfig::full()))
+        bench(&format!("abl_mq_{threads}t_ioat"), DEFAULT_ITERS, || {
+            multistream::run(&cfg, IoatConfig::full())
         });
-        g.bench_function(format!("abl_mq_{threads}t_ioat_multiqueue"), |b| {
-            b.iter(|| multistream::run(&cfg, IoatConfig::full_with_multi_queue()))
-        });
+        bench(
+            &format!("abl_mq_{threads}t_ioat_multiqueue"),
+            DEFAULT_ITERS,
+            || multistream::run(&cfg, IoatConfig::full_with_multi_queue()),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,34 +3,27 @@
 //! Each target runs the scaled-down (quick-window) experiment end to end;
 //! `repro fig3a`/`fig3b` prints the paper-scale tables.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
 use ioat_core::metrics::ExperimentWindow;
 use ioat_core::microbench::{bandwidth, bidirectional};
 use ioat_core::IoatConfig;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig03");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    group("fig03");
     let mut bw = bandwidth::BandwidthConfig::paper(2);
     bw.window = ExperimentWindow::quick();
-    g.bench_function("fig3a_bandwidth_2ports_non_ioat", |b| {
-        b.iter(|| bandwidth::run(&bw, IoatConfig::disabled()))
+    bench("fig3a_bandwidth_2ports_non_ioat", DEFAULT_ITERS, || {
+        bandwidth::run(&bw, IoatConfig::disabled())
     });
-    g.bench_function("fig3a_bandwidth_2ports_ioat", |b| {
-        b.iter(|| bandwidth::run(&bw, IoatConfig::full()))
+    bench("fig3a_bandwidth_2ports_ioat", DEFAULT_ITERS, || {
+        bandwidth::run(&bw, IoatConfig::full())
     });
     let mut bd = bidirectional::BidirConfig::paper(2);
     bd.window = ExperimentWindow::quick();
-    g.bench_function("fig3b_bidirectional_2ports_non_ioat", |b| {
-        b.iter(|| bidirectional::run(&bd, IoatConfig::disabled()))
+    bench("fig3b_bidirectional_2ports_non_ioat", DEFAULT_ITERS, || {
+        bidirectional::run(&bd, IoatConfig::disabled())
     });
-    g.bench_function("fig3b_bidirectional_2ports_ioat", |b| {
-        b.iter(|| bidirectional::run(&bd, IoatConfig::full()))
+    bench("fig3b_bidirectional_2ports_ioat", DEFAULT_ITERS, || {
+        bidirectional::run(&bd, IoatConfig::full())
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

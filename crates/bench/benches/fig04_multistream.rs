@@ -1,27 +1,24 @@
 //! Fig. 4 — multi-stream bandwidth benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
 use ioat_core::metrics::ExperimentWindow;
 use ioat_core::microbench::multistream;
 use ioat_core::IoatConfig;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig04");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    group("fig04");
     for threads in [4usize, 12] {
         let mut cfg = multistream::MultiStreamConfig::paper(threads);
         cfg.window = ExperimentWindow::quick();
-        g.bench_function(format!("fig4_multistream_{threads}t_non_ioat"), |b| {
-            b.iter(|| multistream::run(&cfg, IoatConfig::disabled()))
-        });
-        g.bench_function(format!("fig4_multistream_{threads}t_ioat"), |b| {
-            b.iter(|| multistream::run(&cfg, IoatConfig::full()))
-        });
+        bench(
+            &format!("fig4_multistream_{threads}t_non_ioat"),
+            DEFAULT_ITERS,
+            || multistream::run(&cfg, IoatConfig::disabled()),
+        );
+        bench(
+            &format!("fig4_multistream_{threads}t_ioat"),
+            DEFAULT_ITERS,
+            || multistream::run(&cfg, IoatConfig::full()),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,15 +1,12 @@
 //! Fig. 5 — socket-optimization sweep benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
 use ioat_core::metrics::ExperimentWindow;
 use ioat_core::microbench::bandwidth::{self, BandwidthConfig};
 use ioat_core::{IoatConfig, SocketOpts};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig05");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    group("fig05");
     for (label, opts) in SocketOpts::all_cases() {
         let cfg = BandwidthConfig {
             ports: 2,
@@ -17,15 +14,11 @@ fn bench(c: &mut Criterion) {
             window: ExperimentWindow::quick(),
         };
         let name = label.replace(' ', "_").to_lowercase();
-        g.bench_function(format!("fig5_{name}_non_ioat"), |b| {
-            b.iter(|| bandwidth::run(&cfg, IoatConfig::disabled()))
+        bench(&format!("fig5_{name}_non_ioat"), DEFAULT_ITERS, || {
+            bandwidth::run(&cfg, IoatConfig::disabled())
         });
-        g.bench_function(format!("fig5_{name}_ioat"), |b| {
-            b.iter(|| bandwidth::run(&cfg, IoatConfig::full()))
+        bench(&format!("fig5_{name}_ioat"), DEFAULT_ITERS, || {
+            bandwidth::run(&cfg, IoatConfig::full())
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

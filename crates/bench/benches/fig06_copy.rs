@@ -1,19 +1,15 @@
 //! Fig. 6 — CPU copy vs DMA copy benchmark (the full table per
 //! iteration, plus per-size rows).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
 use ioat_core::microbench::copybench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig06");
-    g.bench_function("fig6_full_table", |b| b.iter(copybench::table));
+fn main() {
+    group("fig06");
+    bench("fig6_full_table", DEFAULT_ITERS, copybench::table);
     for size in [1024u64, 8 * 1024, 64 * 1024] {
-        g.bench_function(format!("fig6_row_{size}"), |b| {
-            b.iter(|| copybench::row(size))
+        bench(&format!("fig6_row_{size}"), DEFAULT_ITERS, || {
+            copybench::row(size)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

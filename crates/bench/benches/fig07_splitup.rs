@@ -1,18 +1,15 @@
 //! Fig. 7 — feature split-up benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
 use ioat_core::microbench::splitup::{self, SplitupConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig07");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    group("fig07");
     let cfg = SplitupConfig::quick_test();
-    g.bench_function("fig7a_row_64k", |b| b.iter(|| splitup::row(&cfg, 64 * 1024)));
-    g.bench_function("fig7b_row_1m", |b| b.iter(|| splitup::row(&cfg, 1 << 20)));
-    g.finish();
+    bench("fig7a_row_64k", DEFAULT_ITERS, || {
+        splitup::row(&cfg, 64 * 1024)
+    });
+    bench("fig7b_row_1m", DEFAULT_ITERS, || {
+        splitup::row(&cfg, 1 << 20)
+    });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

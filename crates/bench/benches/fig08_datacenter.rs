@@ -1,31 +1,20 @@
 //! Fig. 8a/8b — data-center TPS benchmarks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
 use ioat_core::IoatConfig;
 use ioat_datacenter::tiers::{self, DataCenterConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig08");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.bench_function("fig8a_single_file_4k_non_ioat", |b| {
-        b.iter(|| {
-            tiers::run_single_file(&DataCenterConfig::quick_test(IoatConfig::disabled()), 4096)
-        })
+fn main() {
+    group("fig08");
+    bench("fig8a_single_file_4k_non_ioat", DEFAULT_ITERS, || {
+        tiers::run_single_file(&DataCenterConfig::quick_test(IoatConfig::disabled()), 4096)
     });
-    g.bench_function("fig8a_single_file_4k_ioat", |b| {
-        b.iter(|| tiers::run_single_file(&DataCenterConfig::quick_test(IoatConfig::full()), 4096))
+    bench("fig8a_single_file_4k_ioat", DEFAULT_ITERS, || {
+        tiers::run_single_file(&DataCenterConfig::quick_test(IoatConfig::full()), 4096)
     });
-    g.bench_function("fig8b_zipf_095", |b| {
-        b.iter(|| {
-            let mut cfg = DataCenterConfig::quick_test(IoatConfig::full());
-            cfg.proxy_cache_bytes = 64 << 20;
-            tiers::run_zipf(&cfg, 0.95, 2_000, 2 * 1024)
-        })
+    bench("fig8b_zipf_095", DEFAULT_ITERS, || {
+        let mut cfg = DataCenterConfig::quick_test(IoatConfig::full());
+        cfg.proxy_cache_bytes = 64 << 20;
+        tiers::run_zipf(&cfg, 0.95, 2_000, 2 * 1024)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

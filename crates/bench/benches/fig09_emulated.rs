@@ -1,24 +1,17 @@
 //! Fig. 9 — emulated-clients benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
 use ioat_core::IoatConfig;
 use ioat_datacenter::emulated::{self, EmulatedConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig09");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    group("fig09");
     for threads in [16usize, 64] {
-        g.bench_function(format!("fig9_{threads}t_non_ioat"), |b| {
-            b.iter(|| emulated::run(&EmulatedConfig::quick_test(threads, IoatConfig::disabled())))
+        bench(&format!("fig9_{threads}t_non_ioat"), DEFAULT_ITERS, || {
+            emulated::run(&EmulatedConfig::quick_test(threads, IoatConfig::disabled()))
         });
-        g.bench_function(format!("fig9_{threads}t_ioat"), |b| {
-            b.iter(|| emulated::run(&EmulatedConfig::quick_test(threads, IoatConfig::full())))
+        bench(&format!("fig9_{threads}t_ioat"), DEFAULT_ITERS, || {
+            emulated::run(&EmulatedConfig::quick_test(threads, IoatConfig::full()))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,24 +1,21 @@
 //! Fig. 11 — PVFS concurrent-write benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
 use ioat_core::IoatConfig;
 use ioat_pvfs::harness::{concurrent_write, PvfsConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    group("fig11");
     for clients in [1usize, 4] {
-        g.bench_function(format!("fig11_write_{clients}c_non_ioat"), |b| {
-            b.iter(|| concurrent_write(&PvfsConfig::quick_test(3, clients, IoatConfig::disabled())))
-        });
-        g.bench_function(format!("fig11_write_{clients}c_ioat"), |b| {
-            b.iter(|| concurrent_write(&PvfsConfig::quick_test(3, clients, IoatConfig::full())))
-        });
+        bench(
+            &format!("fig11_write_{clients}c_non_ioat"),
+            DEFAULT_ITERS,
+            || concurrent_write(&PvfsConfig::quick_test(3, clients, IoatConfig::disabled())),
+        );
+        bench(
+            &format!("fig11_write_{clients}c_ioat"),
+            DEFAULT_ITERS,
+            || concurrent_write(&PvfsConfig::quick_test(3, clients, IoatConfig::full())),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

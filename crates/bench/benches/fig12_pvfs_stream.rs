@@ -1,31 +1,26 @@
 //! Fig. 12 — PVFS multi-stream-read benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
 use ioat_core::IoatConfig;
 use ioat_pvfs::harness::{multi_stream_read, PvfsConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    group("fig12");
     for threads in [2usize, 8] {
-        g.bench_function(format!("fig12_stream_{threads}t_non_ioat"), |b| {
-            b.iter(|| {
+        bench(
+            &format!("fig12_stream_{threads}t_non_ioat"),
+            DEFAULT_ITERS,
+            || {
                 multi_stream_read(
                     &PvfsConfig::quick_test(3, 1, IoatConfig::disabled()),
                     threads,
                 )
-            })
-        });
-        g.bench_function(format!("fig12_stream_{threads}t_ioat"), |b| {
-            b.iter(|| {
-                multi_stream_read(&PvfsConfig::quick_test(3, 1, IoatConfig::full()), threads)
-            })
-        });
+            },
+        );
+        bench(
+            &format!("fig12_stream_{threads}t_ioat"),
+            DEFAULT_ITERS,
+            || multi_stream_read(&PvfsConfig::quick_test(3, 1, IoatConfig::full()), threads),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

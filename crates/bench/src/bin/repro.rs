@@ -4,11 +4,15 @@
 //!
 //! ```text
 //! repro [all|fig3a|fig3b|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|
-//!        fig10a|fig10b|fig11a|fig11b|fig12|abl-mq|abl-copy] [--quick]
+//!        fig10a|fig10b|fig11a|fig11b|fig12|abl-mq|abl-copy]
+//!       [--quick] [--trace <path>]
 //! ```
 //!
 //! `--quick` uses short measurement windows (for smoke tests); the
-//! default windows match `EXPERIMENTS.md`.
+//! default windows match `EXPERIMENTS.md`. `--trace <path>` runs the
+//! Fig. 7 configuration with the telemetry tracer on, prints the
+//! per-category CPU split-up and writes a Perfetto-loadable Chrome trace
+//! to `<path>` (and then exits unless figures were also requested).
 
 use ioat_bench as figs;
 use ioat_core::metrics::ExperimentWindow;
@@ -21,11 +25,34 @@ fn main() {
     } else {
         ExperimentWindow::standard()
     };
+    let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --trace needs a path argument");
+            std::process::exit(2);
+        })
+    });
+    let mut skip_next = false;
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--trace" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .map(String::as_str)
         .collect();
+    if let Some(path) = trace_path {
+        figs::trace_fig7(window, std::path::Path::new(&path));
+        if which.is_empty() {
+            return;
+        }
+    }
     let all = which.is_empty() || which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);
 

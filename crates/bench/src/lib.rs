@@ -1,4 +1,4 @@
-//! Figure runners shared by the `repro` binary and the Criterion benches.
+//! Figure runners shared by the `repro` binary and the self-timing benches.
 //!
 //! One public function per table/figure of the paper's evaluation
 //! section; each prints the same rows/series the paper reports and
@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod microtime;
 
 use ioat_core::metrics::ExperimentWindow;
 use ioat_core::microbench::{bandwidth, bidirectional, copybench, multistream, sockopts, splitup};
@@ -54,7 +56,13 @@ fn print_rows(title: &str, unit: &str, rows: &[Row]) {
     println!("\n=== {title} ===");
     println!(
         "{:<16} {:>12} {:>12} {:>8} | {:>9} {:>9} {:>8}",
-        "x", format!("non [{unit}]"), format!("ioat [{unit}]"), "tput+%", "non-cpu%", "ioat-cpu%", "cpu-ben%"
+        "x",
+        format!("non [{unit}]"),
+        format!("ioat [{unit}]"),
+        "tput+%",
+        "non-cpu%",
+        "ioat-cpu%",
+        "cpu-ben%"
     );
     for r in rows {
         println!(
@@ -106,7 +114,11 @@ pub fn fig3b(window: ExperimentWindow) -> Vec<Row> {
             }
         })
         .collect();
-    print_rows("Fig 3b: Bi-directional bandwidth (Mbps) vs ports", "Mbps", &rows);
+    print_rows(
+        "Fig 3b: Bi-directional bandwidth (Mbps) vs ports",
+        "Mbps",
+        &rows,
+    );
     rows
 }
 
@@ -127,16 +139,17 @@ pub fn fig4(window: ExperimentWindow) -> Vec<Row> {
             }
         })
         .collect();
-    print_rows("Fig 4: Multi-stream bandwidth (Mbps) vs threads", "Mbps", &rows);
+    print_rows(
+        "Fig 4: Multi-stream bandwidth (Mbps) vs threads",
+        "Mbps",
+        &rows,
+    );
     rows
 }
 
 /// Fig. 5a — bandwidth under socket-optimization Cases 1–5.
 pub fn fig5a(window: ExperimentWindow) -> Vec<Row> {
-    let cfg = sockopts::SweepConfig {
-        ports: 6,
-        window,
-    };
+    let cfg = sockopts::SweepConfig { ports: 6, window };
     let rows: Vec<Row> = sockopts::sweep_bandwidth(&cfg)
         .into_iter()
         .map(|r| Row {
@@ -147,16 +160,17 @@ pub fn fig5a(window: ExperimentWindow) -> Vec<Row> {
             ioat_cpu: r.comparison.ioat.rx_cpu,
         })
         .collect();
-    print_rows("Fig 5a: Bandwidth under optimizations (Mbps)", "Mbps", &rows);
+    print_rows(
+        "Fig 5a: Bandwidth under optimizations (Mbps)",
+        "Mbps",
+        &rows,
+    );
     rows
 }
 
 /// Fig. 5b — bi-directional bandwidth under Cases 1–5.
 pub fn fig5b(window: ExperimentWindow) -> Vec<Row> {
-    let cfg = sockopts::SweepConfig {
-        ports: 6,
-        window,
-    };
+    let cfg = sockopts::SweepConfig { ports: 6, window };
     let rows: Vec<Row> = sockopts::sweep_bidirectional(&cfg)
         .into_iter()
         .map(|r| Row {
@@ -167,7 +181,11 @@ pub fn fig5b(window: ExperimentWindow) -> Vec<Row> {
             ioat_cpu: r.comparison.ioat.rx_cpu,
         })
         .collect();
-    print_rows("Fig 5b: Bi-dir bandwidth under optimizations (Mbps)", "Mbps", &rows);
+    print_rows(
+        "Fig 5b: Bi-dir bandwidth under optimizations (Mbps)",
+        "Mbps",
+        &rows,
+    );
     rows
 }
 
@@ -195,17 +213,17 @@ pub fn fig6() -> Vec<copybench::CopyRow> {
 
 /// Fig. 7a/7b — feature split-up across message sizes.
 pub fn fig7(window: ExperimentWindow) -> Vec<splitup::SplitupRow> {
-    let cfg = splitup::SplitupConfig {
-        ports: 4,
-        window,
-    };
+    let cfg = splitup::SplitupConfig { ports: 4, window };
     let mut out = Vec::new();
     println!("\n=== Fig 7: I/OAT split-up (4 ports) ===");
     println!(
         "{:<8} {:>9} {:>9} {:>9} | {:>8} {:>9} | {:>9} {:>10}",
         "size", "non", "dma", "split", "dma-cpu%", "split-cpu%", "dma-tput%", "split-tput%"
     );
-    for size in splitup::small_sizes().into_iter().chain(splitup::large_sizes()) {
+    for size in splitup::small_sizes()
+        .into_iter()
+        .chain(splitup::large_sizes())
+    {
         let r = splitup::row(&cfg, size);
         println!(
             "{:<8} {:>9.0} {:>9.0} {:>9.0} | {:>8.1} {:>9.1} | {:>9.1} {:>10.1}",
@@ -295,16 +313,15 @@ pub fn fig9(window: ExperimentWindow) -> Vec<Row> {
             }
         })
         .collect();
-    print_rows("Fig 9: Emulated clients, 16K file (TPS, client CPU)", "TPS", &rows);
+    print_rows(
+        "Fig 9: Emulated clients, 16K file (TPS, client CPU)",
+        "TPS",
+        &rows,
+    );
     rows
 }
 
-fn pvfs_fig(
-    title: &str,
-    io_servers: usize,
-    write: bool,
-    window: ExperimentWindow,
-) -> Vec<Row> {
+fn pvfs_fig(title: &str, io_servers: usize, write: bool, window: ExperimentWindow) -> Vec<Row> {
     let rows: Vec<Row> = (1..=6)
         .map(|clients| {
             let mut non_cfg = PvfsConfig::paper(io_servers, clients, IoatConfig::disabled());
@@ -338,22 +355,42 @@ fn pvfs_fig(
 
 /// Fig. 10a — PVFS concurrent read, 6 I/O servers.
 pub fn fig10a(window: ExperimentWindow) -> Vec<Row> {
-    pvfs_fig("Fig 10a: PVFS concurrent read, 6 I/O servers", 6, false, window)
+    pvfs_fig(
+        "Fig 10a: PVFS concurrent read, 6 I/O servers",
+        6,
+        false,
+        window,
+    )
 }
 
 /// Fig. 10b — PVFS concurrent read, 5 I/O servers.
 pub fn fig10b(window: ExperimentWindow) -> Vec<Row> {
-    pvfs_fig("Fig 10b: PVFS concurrent read, 5 I/O servers", 5, false, window)
+    pvfs_fig(
+        "Fig 10b: PVFS concurrent read, 5 I/O servers",
+        5,
+        false,
+        window,
+    )
 }
 
 /// Fig. 11a — PVFS concurrent write, 6 I/O servers.
 pub fn fig11a(window: ExperimentWindow) -> Vec<Row> {
-    pvfs_fig("Fig 11a: PVFS concurrent write, 6 I/O servers", 6, true, window)
+    pvfs_fig(
+        "Fig 11a: PVFS concurrent write, 6 I/O servers",
+        6,
+        true,
+        window,
+    )
 }
 
 /// Fig. 11b — PVFS concurrent write, 5 I/O servers.
 pub fn fig11b(window: ExperimentWindow) -> Vec<Row> {
-    pvfs_fig("Fig 11b: PVFS concurrent write, 5 I/O servers", 5, true, window)
+    pvfs_fig(
+        "Fig 11b: PVFS concurrent write, 5 I/O servers",
+        5,
+        true,
+        window,
+    )
 }
 
 /// Fig. 12 — PVFS multi-stream read, 1–64 emulated clients.
@@ -439,6 +476,58 @@ pub fn ablation_async_memcpy() -> Vec<copybench::CopyRow> {
         out.push(copybench::row(size));
     }
     out
+}
+
+/// Runs the Fig. 7 configuration with tracing on, prints the per-category
+/// CPU split-up over the measurement window for non-I/OAT and full I/OAT,
+/// and writes the full-I/OAT run as a Perfetto-loadable Chrome trace plus
+/// companion event/metrics CSVs next to it.
+pub fn trace_fig7(window: ExperimentWindow, path: &std::path::Path) {
+    use ioat_telemetry::{cpu_splitup, export, Tracer};
+    let cfg = splitup::SplitupConfig { ports: 2, window };
+    let msg = 64 * 1024;
+    let mut last: Option<Tracer> = None;
+    for (label, ioat) in [
+        ("non-I/OAT", IoatConfig::disabled()),
+        ("I/OAT full", IoatConfig::full()),
+    ] {
+        let tracer = Tracer::enabled();
+        let (res, (from, to)) = splitup::run_one_traced(&cfg, ioat, msg, &tracer);
+        let report = cpu_splitup(&tracer.events(), from, to);
+        println!("\n=== Fig 7 CPU split-up ({label}, 64 KB messages) ===");
+        print!("{}", report.render_table());
+        for (cat, share) in report.receive_path_shares() {
+            println!(
+                "  {:<10} {:>5.1}% of the CPU receive path",
+                cat.name(),
+                share * 100.0
+            );
+        }
+        println!(
+            "  rx-cpu {:>5.1}%   goodput {:>6.0} Mbps   {} events",
+            res.rx_cpu * 100.0,
+            res.mbps,
+            tracer.len()
+        );
+        last = Some(tracer);
+    }
+    let tracer = last.expect("loop ran");
+    if let Err(e) = export::write_chrome_trace(path, &tracer) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    let csv_events = path.with_extension("events.csv");
+    if let Err(e) = std::fs::write(&csv_events, export::events_csv(&tracer.events())) {
+        eprintln!("error: cannot write {}: {e}", csv_events.display());
+        std::process::exit(1);
+    }
+    println!(
+        "\nwrote {} ({} events) and {}",
+        path.display(),
+        tracer.len(),
+        csv_events.display()
+    );
+    println!("open the JSON at https://ui.perfetto.dev or chrome://tracing");
 }
 
 #[cfg(test)]

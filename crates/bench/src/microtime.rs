@@ -1,0 +1,52 @@
+//! Minimal wall-clock bench harness for the `benches/` binaries.
+//!
+//! The offline build cannot depend on criterion, and the workloads are
+//! deterministic simulations, so a median over a handful of iterations is
+//! stable enough for regression spotting. Each `benches/*.rs` target is a
+//! plain `fn main()` (`harness = false`) built on this module.
+
+use std::time::Instant;
+
+/// Default iteration count used by the bench binaries.
+pub const DEFAULT_ITERS: u32 = 10;
+
+/// Runs `f` once for warm-up and `iters` timed times, printing the median
+/// wall-clock per iteration. Returns the median in milliseconds.
+pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    let iters = iters.max(1);
+    std::hint::black_box(f());
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!("{name:<44} median {median:>9.3} ms  (min {min:>8.3}, max {max:>8.3}, n={iters})");
+    median
+}
+
+/// Prints the standard group header used by the bench binaries.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_median() {
+        let mut calls = 0u32;
+        let med = bench("noop", 3, || {
+            calls += 1;
+            calls
+        });
+        assert!(med >= 0.0);
+        assert_eq!(calls, 4); // warm-up + 3 timed
+    }
+}

@@ -4,7 +4,12 @@ fn main() {
         let c = row.comparison;
         println!(
             "{}: non {:5.0} Mbps cpu {:4.1}% | ioat {:5.0} Mbps cpu {:4.1}% | rel {:4.1}%",
-            row.case, c.non_ioat.mbps, c.non_ioat.rx_cpu*100.0, c.ioat.mbps, c.ioat.rx_cpu*100.0,
-            c.relative_cpu_benefit()*100.0);
+            row.case,
+            c.non_ioat.mbps,
+            c.non_ioat.rx_cpu * 100.0,
+            c.ioat.mbps,
+            c.ioat.rx_cpu * 100.0,
+            c.relative_cpu_benefit() * 100.0
+        );
     }
 }

@@ -9,8 +9,13 @@ use ioat_netsim::stack::{self, HostStack, StackRef};
 use ioat_netsim::{ConnId, IoatConfig, Socket, SocketOpts, StackParams};
 use ioat_simcore::time::Bandwidth;
 use ioat_simcore::{Sim, SimDuration};
+use ioat_telemetry::{Category, MetricsRegistry, Tracer, TrackId};
 use std::collections::HashMap;
 use std::rc::Rc;
+
+/// Pseudo node id used for simulator-engine events in exported traces
+/// (kept far away from real node indices).
+pub const SIM_TRACK_NODE: u32 = 9_999;
 
 /// Configuration of one node.
 #[derive(Debug, Clone)]
@@ -63,6 +68,7 @@ pub struct Cluster {
     next_conn: u64,
     bandwidth: Bandwidth,
     latency: SimDuration,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -89,7 +95,57 @@ impl Cluster {
             next_conn: 1,
             bandwidth: calibration::port_bandwidth(),
             latency: calibration::switch_latency(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer to the cluster: every node already added (and
+    /// every node added afterwards) gets it, with the node's index as the
+    /// Chrome-trace pid. When the tracer records [`Category::Sim`], the
+    /// simulator's event hook also emits one instant per executed event
+    /// on a dedicated pseudo process.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            node.borrow_mut().set_tracer(tracer.clone(), i as u32);
+        }
+        if tracer.records(Category::Sim) {
+            tracer.set_process_name(SIM_TRACK_NODE, "sim-engine");
+            let tr = tracer.clone();
+            self.sim.set_event_hook(move |at, _seq| {
+                tr.instant("event", Category::Sim, TrackId::new(SIM_TRACK_NODE, 0), at);
+            });
+        }
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Snapshots every node's stack and DMA-engine statistics into a
+    /// metrics registry, keys prefixed with the node name.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for node in &self.nodes {
+            let st = node.borrow();
+            let name = st.name().to_string();
+            let s = st.stats();
+            reg.add(&format!("{name}.frames_processed"), s.frames_processed);
+            reg.add(&format!("{name}.interrupts"), s.interrupts);
+            reg.add(&format!("{name}.deliveries"), s.deliveries);
+            reg.add(&format!("{name}.dma_deliveries"), s.dma_deliveries);
+            reg.add(&format!("{name}.acks"), s.acks);
+            reg.add(&format!("{name}.stalled_frames"), s.stalled_frames);
+            reg.set_gauge(&format!("{name}.peak_backlog_bytes"), s.peak_backlog as f64);
+            if let Some(dma) = st.dma() {
+                let d = dma.borrow().stats();
+                reg.add(&format!("{name}.dma.requests"), d.requests);
+                reg.add(&format!("{name}.dma.bytes"), d.bytes);
+                reg.add(&format!("{name}.dma.pages_pinned"), d.pages_pinned);
+            }
+        }
+        reg
     }
 
     /// Overrides the fabric line rate for subsequently wired ports.
@@ -121,6 +177,11 @@ impl Cluster {
             calibration::testbed_cache(),
         );
         let h = NodeHandle(self.nodes.len());
+        if self.tracer.is_enabled() {
+            stack
+                .borrow_mut()
+                .set_tracer(self.tracer.clone(), h.0 as u32);
+        }
         self.names.insert(cfg.name, h);
         self.nodes.push(stack);
         h
@@ -176,7 +237,14 @@ impl Cluster {
     ) -> (Socket, Socket) {
         let id = ConnId(self.next_conn);
         self.next_conn += 1;
-        stack::open_connection(&self.nodes[a.0], &self.nodes[b.0], ports.a, ports.b, opts, id);
+        stack::open_connection(
+            &self.nodes[a.0],
+            &self.nodes[b.0],
+            ports.a,
+            ports.b,
+            opts,
+            id,
+        );
         (
             Socket::new(Rc::clone(&self.nodes[a.0]), id),
             Socket::new(Rc::clone(&self.nodes[b.0]), id),
@@ -228,6 +296,30 @@ mod tests {
         cluster.run();
         assert_eq!(*got.borrow(), 300_000);
         assert_eq!(cluster.stack(b).borrow().port_count(), 3);
+    }
+
+    #[test]
+    fn tracer_and_metrics_cover_all_nodes() {
+        let mut cluster = Cluster::new(1);
+        let tracer = Tracer::enabled();
+        cluster.set_tracer(tracer.clone());
+        let a = cluster.add_node(NodeConfig::testbed("a", IoatConfig::disabled()));
+        let b = cluster.add_node(NodeConfig::testbed("b", IoatConfig::full()));
+        let ports = cluster.connect_ports(a, b, 1, true);
+        let (sa, _sb) = cluster.open(a, b, ports[0], SocketOpts::tuned());
+        sa.send(cluster.sim_mut(), 200_000);
+        cluster.run();
+        assert!(!tracer.is_empty());
+        assert_eq!(tracer.process_names()[&1], "b");
+        let reg = cluster.metrics();
+        assert!(reg.counter("b.deliveries") > 0);
+        assert!(reg.counter("b.dma.bytes") > 0);
+        assert!(reg.gauge("b.peak_backlog_bytes").is_some());
+        assert_eq!(
+            reg.counter("a.dma.requests"),
+            0,
+            "non-I/OAT node has no engine"
+        );
     }
 
     #[test]

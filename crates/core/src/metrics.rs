@@ -3,7 +3,6 @@
 use crate::cluster::{Cluster, NodeHandle};
 use ioat_simcore::stats::{relative_benefit, relative_improvement};
 use ioat_simcore::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A warm-up + measurement window pair.
 ///
@@ -12,7 +11,8 @@ use serde::{Deserialize, Serialize};
 /// `measure`. Throughput and CPU utilization are reported over the
 /// measurement window only, the way the paper's `ttcp` runs report
 /// steady-state numbers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExperimentWindow {
     /// Warm-up length (excluded from all metrics).
     pub warmup: SimDuration,
@@ -52,10 +52,7 @@ impl ExperimentWindow {
     pub fn execute(&self, cluster: &mut Cluster, nodes: &[NodeHandle]) -> (SimTime, SimTime) {
         cluster.run_until(self.from());
         for &n in nodes {
-            cluster
-                .stack(n)
-                .borrow_mut()
-                .begin_measurement(self.from());
+            cluster.stack(n).borrow_mut().begin_measurement(self.from());
         }
         cluster.run_until(self.to());
         (self.from(), self.to())
@@ -63,7 +60,8 @@ impl ExperimentWindow {
 }
 
 /// Throughput + CPU result for one configuration of one experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ThroughputResult {
     /// Application-level goodput in Mbps (10^6 bits/s).
     pub mbps: f64,
@@ -82,7 +80,8 @@ impl ThroughputResult {
 
 /// An I/OAT vs non-I/OAT comparison row, with the paper's derived
 /// metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Comparison {
     /// The non-I/OAT result.
     pub non_ioat: ThroughputResult,

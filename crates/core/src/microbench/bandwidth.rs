@@ -9,10 +9,10 @@ use crate::cluster::{Cluster, NodeConfig};
 use crate::metrics::{Comparison, ExperimentWindow, ThroughputResult};
 use crate::microbench::stream;
 use ioat_netsim::{IoatConfig, SocketOpts};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a bandwidth run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BandwidthConfig {
     /// Number of dedicated port pairs (the paper sweeps 1–6).
     pub ports: usize,

@@ -16,10 +16,10 @@
 
 use ioat_memsim::{AddressAllocator, CpuCopier, DmaConfig, DmaEngine, DmaRequest};
 use ioat_netsim::StackParams;
-use serde::{Deserialize, Serialize};
 
 /// One row of the Fig. 6 table.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CopyRow {
     /// Copied bytes.
     pub size: u64,

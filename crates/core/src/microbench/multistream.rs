@@ -11,10 +11,10 @@ use crate::cluster::{Cluster, NodeConfig};
 use crate::metrics::{Comparison, ExperimentWindow, ThroughputResult};
 use crate::microbench::stream;
 use ioat_netsim::{IoatConfig, SocketOpts};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a multi-stream run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MultiStreamConfig {
     /// Number of streaming threads (connections).
     pub threads: usize,
@@ -121,9 +121,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one stream")]
     fn zero_threads_is_rejected() {
-        run(
-            &MultiStreamConfig::quick_test(0),
-            IoatConfig::disabled(),
-        );
+        run(&MultiStreamConfig::quick_test(0), IoatConfig::disabled());
     }
 }

@@ -11,10 +11,10 @@ use crate::metrics::{Comparison, ExperimentWindow};
 use crate::microbench::bandwidth::{self, BandwidthConfig};
 use crate::microbench::bidirectional::{self, BidirConfig};
 use ioat_netsim::SocketOpts;
-use serde::{Deserialize, Serialize};
 
 /// One row of the Fig. 5 sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CaseRow {
     /// Case label ("Case 1" … "Case 5").
     pub case: String,
@@ -23,7 +23,8 @@ pub struct CaseRow {
 }
 
 /// Sweep parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SweepConfig {
     /// Port pairs to drive (the paper uses all six).
     pub ports: usize,

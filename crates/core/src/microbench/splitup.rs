@@ -18,10 +18,10 @@ use crate::metrics::{ExperimentWindow, ThroughputResult};
 use crate::microbench::message_paced;
 use ioat_netsim::{IoatConfig, SocketOpts};
 use ioat_simcore::stats::{relative_benefit, relative_improvement};
-use serde::{Deserialize, Serialize};
 
 /// One row of the Fig. 7 split-up.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SplitupRow {
     /// Message size in bytes.
     pub msg_size: u64,
@@ -57,7 +57,8 @@ impl SplitupRow {
 }
 
 /// Sweep parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SplitupConfig {
     /// Port pairs / client count (the paper uses four).
     pub ports: usize,
@@ -105,8 +106,24 @@ pub const SERVER_PROCESS_NS_PER_BYTE: f64 = 5.5;
 
 /// Runs one configuration at one message size.
 pub fn run_one(cfg: &SplitupConfig, ioat: IoatConfig, msg_size: u64) -> ThroughputResult {
+    run_one_traced(cfg, ioat, msg_size, &ioat_telemetry::Tracer::disabled()).0
+}
+
+/// [`run_one`] with a tracer attached to every node; also returns the
+/// measurement window so callers can build a
+/// [`ioat_telemetry::SplitupReport`] over exactly the measured interval.
+pub fn run_one_traced(
+    cfg: &SplitupConfig,
+    ioat: IoatConfig,
+    msg_size: u64,
+    tracer: &ioat_telemetry::Tracer,
+) -> (
+    ThroughputResult,
+    (ioat_simcore::SimTime, ioat_simcore::SimTime),
+) {
     let opts = opts_for(msg_size);
     let mut cluster = Cluster::new(0xB7);
+    cluster.set_tracer(tracer.clone());
     let clients = cluster.add_node(NodeConfig::testbed("clients", ioat));
     let server = cluster.add_node(NodeConfig::testbed("server", ioat));
     let pairs = cluster.connect_ports(clients, server, cfg.ports, opts.coalescing);
@@ -138,11 +155,12 @@ pub fn run_one(cfg: &SplitupConfig, ioat: IoatConfig, msg_size: u64) -> Throughp
     let (from, to) = cfg.window.execute(&mut cluster, &[clients, server]);
     let rxs = cluster.stack(server).borrow();
     let txs = cluster.stack(clients).borrow();
-    ThroughputResult {
+    let result = ThroughputResult {
         mbps: rxs.rx_meter().mbps(to),
         rx_cpu: rxs.cpu_utilization(from, to),
         tx_cpu: txs.cpu_utilization(from, to),
-    }
+    };
+    (result, (from, to))
 }
 
 /// Runs all three configurations at one message size.

@@ -1,17 +1,21 @@
 //! Paper-scale probe for Figs 8a, 8b and 9.
 
+use ioat_core::IoatConfig;
 use ioat_datacenter::emulated::{self, EmulatedConfig};
 use ioat_datacenter::tiers::{self, DataCenterConfig};
-use ioat_core::IoatConfig;
 
 fn main() {
     println!("--- Fig 8a: single-file TPS (paper: 4K +14%, others +5-8%) ---");
     for kb in [2u64, 4, 6, 8, 10] {
-        let non = tiers::run_single_file(&DataCenterConfig::paper(IoatConfig::disabled()), kb * 1024);
+        let non =
+            tiers::run_single_file(&DataCenterConfig::paper(IoatConfig::disabled()), kb * 1024);
         let ioat = tiers::run_single_file(&DataCenterConfig::paper(IoatConfig::full()), kb * 1024);
         println!(
             "{kb}K: non {:6.0} TPS (proxy {:4.1}% web {:4.1}%) | ioat {:6.0} TPS | +{:4.1}%",
-            non.tps, non.proxy_cpu * 100.0, non.web_cpu * 100.0, ioat.tps,
+            non.tps,
+            non.proxy_cpu * 100.0,
+            non.web_cpu * 100.0,
+            ioat.tps,
             (ioat.tps - non.tps) / non.tps * 100.0
         );
     }
@@ -27,7 +31,11 @@ fn main() {
         let ioat = tiers::run_zipf(&c_ioat, alpha, 10_000, 2 * 1024);
         println!(
             "a={alpha}: non {:6.0} TPS (hit {:4.2}, proxy {:4.1}%) | ioat {:6.0} TPS | +{:4.1}%",
-            non.tps, non.cache_hit_rate, non.proxy_cpu * 100.0, ioat.tps, (ioat.tps - non.tps) / non.tps * 100.0
+            non.tps,
+            non.cache_hit_rate,
+            non.proxy_cpu * 100.0,
+            ioat.tps,
+            (ioat.tps - non.tps) / non.tps * 100.0
         );
     }
     println!("--- Fig 9: emulated clients 16K (paper: +16% @256, CPU sat 64 vs 256) ---");
@@ -36,7 +44,10 @@ fn main() {
         let ioat = emulated::run(&EmulatedConfig::paper(threads, IoatConfig::full()));
         println!(
             "n={threads:3}: non {:6.0} TPS cpu {:5.1}% | ioat {:6.0} TPS cpu {:5.1}% | +{:4.1}%",
-            non.tps, non.client_cpu * 100.0, ioat.tps, ioat.client_cpu * 100.0,
+            non.tps,
+            non.client_cpu * 100.0,
+            ioat.tps,
+            ioat.client_cpu * 100.0,
             (ioat.tps - non.tps) / non.tps * 100.0
         );
     }

@@ -7,13 +7,13 @@
 //! requests per second per core).
 
 use ioat_simcore::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Wire size of an HTTP request (request line + headers).
 pub const REQUEST_WIRE_BYTES: u64 = 300;
 
 /// Per-request CPU costs of the tiers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DataCenterCosts {
     /// Proxy: parse request line + headers, match vhost/ACLs.
     pub proxy_parse: SimDuration,
@@ -53,8 +53,7 @@ impl Default for DataCenterCosts {
 impl DataCenterCosts {
     /// Web-tier cost to serve a `size`-byte document.
     pub fn web_serve(&self, size: u64) -> SimDuration {
-        self.web_serve_base
-            + SimDuration::from_nanos((size * self.web_read_ps_per_byte) / 1000)
+        self.web_serve_base + SimDuration::from_nanos((size * self.web_read_ps_per_byte) / 1000)
     }
 }
 

@@ -15,7 +15,6 @@ use ioat_core::cluster::{Cluster, NodeConfig};
 use ioat_core::metrics::ExperimentWindow;
 use ioat_core::{IoatConfig, SocketOpts};
 use ioat_simcore::{Counter, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -69,7 +68,8 @@ impl EmulatedConfig {
 }
 
 /// Outcome of an emulated-clients run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EmulatedResult {
     /// Transactions per second.
     pub tps: f64,

@@ -20,9 +20,13 @@ use ioat_core::cluster::{Cluster, NodeConfig};
 use ioat_core::metrics::ExperimentWindow;
 use ioat_core::{IoatConfig, SocketOpts};
 use ioat_simcore::{Counter, Histogram, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use ioat_telemetry::{Category, Tracer, TrackId};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Pseudo node id for per-thread request-lifecycle lanes in exported
+/// traces (real nodes are 0 = clients, 1 = proxy, 2 = web).
+pub const REQUEST_LANES_NODE: u32 = 3;
 
 /// Configuration of a data-center run.
 #[derive(Debug, Clone)]
@@ -76,7 +80,8 @@ impl DataCenterConfig {
 }
 
 /// Outcome of a data-center run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DataCenterResult {
     /// Transactions per second over the measurement window.
     pub tps: f64,
@@ -104,13 +109,28 @@ struct Shared {
 
 /// Runs the two-tier testbed with per-thread traces built by
 /// `make_trace(thread_index)`.
-pub fn run<F>(cfg: &DataCenterConfig, mut make_trace: F) -> DataCenterResult
+pub fn run<F>(cfg: &DataCenterConfig, make_trace: F) -> DataCenterResult
+where
+    F: FnMut(usize) -> Box<dyn Trace>,
+{
+    run_traced(cfg, make_trace, &Tracer::disabled())
+}
+
+/// [`run`] with a tracer attached: nodes emit the stack-level spans and
+/// each client thread gets a request-lifecycle lane — one
+/// [`Category::Request`] span per transaction, from request fire to
+/// response completion.
+pub fn run_traced<F>(cfg: &DataCenterConfig, mut make_trace: F, tracer: &Tracer) -> DataCenterResult
 where
     F: FnMut(usize) -> Box<dyn Trace>,
 {
     assert!(cfg.client_threads > 0, "need at least one client thread");
     assert!(cfg.client_ports > 0 && cfg.tier_ports > 0);
     let mut cluster = Cluster::new(cfg.seed);
+    cluster.set_tracer(tracer.clone());
+    if tracer.is_enabled() {
+        tracer.set_process_name(REQUEST_LANES_NODE, "request-lanes");
+    }
     // The client cluster stands in for the paper's 44-node Testbed 2:
     // plenty of cores so the clients themselves never bottleneck.
     let clients = cluster.add_node(NodeConfig {
@@ -159,10 +179,14 @@ where
         let sa = Rc::clone(&started_at);
         let tr = Rc::clone(&trace);
         let client_sock2 = c_sock.clone();
+        let lane = TrackId::new(REQUEST_LANES_NODE, t as u32);
+        tracer.set_track_name(lane, &format!("thread{t}"));
+        let trc = tracer.clone();
         let respond_to_client = msg::channel(
             p_client_sock.clone(),
             c_sock.clone(),
             move |sim, _meta: ()| {
+                trc.span("request", Category::Request, lane, *sa.borrow(), sim.now());
                 {
                     let mut s = sh.borrow_mut();
                     if sim.now() >= s.window_from {
@@ -223,10 +247,8 @@ where
         let ptw = Rc::clone(&proxy_to_web);
         let ch = Rc::clone(&cache);
         let p_client_sock2 = p_client_sock.clone();
-        let client_to_proxy = msg::channel(
-            c_sock.clone(),
-            p_client_sock,
-            move |sim, req: Request| {
+        let client_to_proxy =
+            msg::channel(c_sock.clone(), p_client_sock, move |sim, req: Request| {
                 let parse = costs.proxy_parse + costs.proxy_cache_lookup;
                 let hit = caching_enabled && ch.borrow_mut().lookup(req.file_id);
                 let rc2 = Rc::clone(&rc);
@@ -243,8 +265,7 @@ where
                         ptw2.send(sim, REQUEST_WIRE_BYTES, req);
                     }
                 });
-            },
-        );
+            });
         *req_sender.borrow_mut() = Some(client_to_proxy);
 
         // Kick off the loop with a small stagger.
@@ -292,7 +313,12 @@ pub fn run_single_file(cfg: &DataCenterConfig, size: u64) -> DataCenterResult {
 
 /// Convenience: the Fig. 8b Zipf comparison at one α over a shared-shape
 /// catalog (each thread samples independently).
-pub fn run_zipf(cfg: &DataCenterConfig, alpha: f64, catalog_docs: usize, median: u64) -> DataCenterResult {
+pub fn run_zipf(
+    cfg: &DataCenterConfig,
+    alpha: f64,
+    catalog_docs: usize,
+    median: u64,
+) -> DataCenterResult {
     let mut rng = ioat_simcore::SimRng::seed_from(cfg.seed ^ 0x21F);
     let catalog = crate::workload::FileCatalog::web_content(catalog_docs, median, &mut rng);
     let mut seed_rng = ioat_simcore::SimRng::seed_from(cfg.seed);
@@ -320,6 +346,31 @@ mod tests {
         assert!(r.latency_p50_us > 0.0);
         assert!(r.latency_p99_us >= r.latency_p50_us);
         assert_eq!(r.cache_hit_rate, 0.0, "caching disabled");
+    }
+
+    #[test]
+    fn tracing_records_request_lanes_without_perturbing() {
+        let cfg = DataCenterConfig::quick_test(IoatConfig::disabled());
+        let off = run_single_file(&cfg, 4 * 1024);
+        let tracer = Tracer::enabled();
+        let on = run_traced(
+            &cfg,
+            |_t| Box::new(crate::workload::SingleFileTrace::new(4 * 1024)),
+            &tracer,
+        );
+        assert_eq!(off.tps.to_bits(), on.tps.to_bits());
+        assert_eq!(off.completed, on.completed);
+        assert_eq!(off.latency_p99_us.to_bits(), on.latency_p99_us.to_bits());
+        let requests = tracer
+            .events()
+            .iter()
+            .filter(|e| e.cat == Category::Request)
+            .count() as u64;
+        assert!(
+            requests >= on.completed,
+            "every completed transaction has a request span"
+        );
+        assert_eq!(tracer.process_names()[&REQUEST_LANES_NODE], "request-lanes");
     }
 
     #[test]

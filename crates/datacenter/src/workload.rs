@@ -7,11 +7,11 @@
 //! is proportional to `1/i^α` [Breslau et al.].
 
 use ioat_simcore::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// One client request: which document, and how many bytes the response
 /// carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Request {
     /// Document identifier (an index into the catalog).
     pub file_id: u32,
@@ -20,7 +20,8 @@ pub struct Request {
 }
 
 /// A catalog of documents with sizes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FileCatalog {
     sizes: Vec<u64>,
 }
@@ -195,7 +196,13 @@ mod tests {
         let mut t = SingleFileTrace::new(4096);
         for _ in 0..10 {
             let r = t.next_request();
-            assert_eq!(r, Request { file_id: 0, size: 4096 });
+            assert_eq!(
+                r,
+                Request {
+                    file_id: 0,
+                    size: 4096
+                }
+            );
         }
         assert_eq!(SingleFileTrace::paper_traces().len(), 5);
     }

@@ -5,8 +5,6 @@
 //! because the DMA engine must split transfers at page boundaries
 //! (the copy engine works on pinned physical pages, §2.2.2).
 
-use serde::{Deserialize, Serialize};
-
 /// Page size of the simulated machine (4 KiB, as on the paper's testbed).
 pub const PAGE_SIZE: u64 = 4096;
 
@@ -20,7 +18,8 @@ pub const PAGE_SIZE: u64 = 4096;
 /// assert_eq!(buf.len(), 10_000);
 /// assert_eq!(buf.pages(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Buffer {
     addr: u64,
     len: u64,
@@ -98,7 +97,8 @@ impl Buffer {
 /// Different components (kernel socket buffers, user application buffers,
 /// NIC header rings) allocate from the same space so their cache footprints
 /// interact realistically.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AddressAllocator {
     next: u64,
 }

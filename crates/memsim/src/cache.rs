@@ -15,10 +15,10 @@
 //!   read of DMA-written data misses.
 
 use crate::address::Buffer;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of a simulated cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity: u64,
@@ -47,7 +47,8 @@ impl CacheConfig {
         assert!(self.line_size.is_power_of_two(), "line size must be 2^k");
         assert!(self.associativity > 0, "associativity must be positive");
         assert!(
-            self.capacity % (self.associativity as u64 * self.line_size) == 0,
+            self.capacity
+                .is_multiple_of(self.associativity as u64 * self.line_size),
             "capacity must be a whole number of sets"
         );
         assert!(self.sets() > 0, "cache must have at least one set");
@@ -55,7 +56,8 @@ impl CacheConfig {
 }
 
 /// Whether an access hit or missed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessOutcome {
     /// Line was resident.
     Hit,
@@ -64,7 +66,8 @@ pub enum AccessOutcome {
 }
 
 /// Running hit/miss counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheStats {
     /// Number of line accesses that hit.
     pub hits: u64,

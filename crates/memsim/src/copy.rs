@@ -11,14 +11,14 @@
 use crate::address::Buffer;
 use crate::cache::Cache;
 use ioat_simcore::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Per-line and per-call costs of a CPU `memcpy`.
 ///
 /// Defaults are calibrated to the paper's testbed (3.46 GHz Xeon, 2 MB L2,
 /// DDR2-era memory): a cached copy moves ≈ 6.4 GB/s per direction and a
 /// cold copy pays the memory round-trip on every line.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CopyParams {
     /// Fixed per-call overhead (function call, loop setup).
     pub per_call: SimDuration,
@@ -41,7 +41,8 @@ impl Default for CopyParams {
 
 /// The outcome of a modelled copy: how long the CPU was busy and what the
 /// cache saw.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CopyCost {
     /// CPU busy time for the copy.
     pub duration: SimDuration,
@@ -181,8 +182,14 @@ mod tests {
         let warm = c.copy_analytic(64 * 1024, 1.0, 64).duration;
         assert!(cold > half && half > warm);
         // Out-of-range fractions clamp instead of extrapolating.
-        assert_eq!(c.copy_analytic(1024, 7.0, 64).duration, c.warm_cost(1024, 64));
-        assert_eq!(c.copy_analytic(1024, -3.0, 64).duration, c.cold_cost(1024, 64));
+        assert_eq!(
+            c.copy_analytic(1024, 7.0, 64).duration,
+            c.warm_cost(1024, 64)
+        );
+        assert_eq!(
+            c.copy_analytic(1024, -3.0, 64).duration,
+            c.cold_cost(1024, 64)
+        );
     }
 
     #[test]

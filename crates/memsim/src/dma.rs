@@ -16,7 +16,7 @@
 use crate::address::Buffer;
 use crate::cache::Cache;
 use ioat_simcore::{Resource, ResourceRef, Sim, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use ioat_telemetry::{Category, Tracer, TrackId};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -32,7 +32,8 @@ pub type DmaEngineRef = Rc<RefCell<DmaEngine>>;
 /// Defaults are calibrated so the paper's Fig. 6 shape holds: the engine
 /// beats a cold CPU copy above ≈ 8 KB, and ≥ 90 % of a 64 KB copy can be
 /// overlapped with computation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DmaConfig {
     /// Synchronous CPU cost to build and ring a descriptor.
     pub startup: SimDuration,
@@ -62,7 +63,8 @@ impl Default for DmaConfig {
 }
 
 /// A copy request: source and destination ranges of equal length.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DmaRequest {
     /// Source range.
     pub src: Buffer,
@@ -98,7 +100,8 @@ impl DmaRequest {
 }
 
 /// Running engine statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DmaStats {
     /// Copies issued.
     pub requests: u64,
@@ -133,6 +136,8 @@ pub struct DmaEngine {
     channel: ResourceRef,
     cache: Option<CacheRef>,
     stats: DmaStats,
+    tracer: Tracer,
+    track: TrackId,
 }
 
 impl DmaEngine {
@@ -144,7 +149,17 @@ impl DmaEngine {
             channel: Resource::new_ref("dma-chan"),
             cache,
             stats: DmaStats::default(),
+            tracer: Tracer::disabled(),
+            track: TrackId::new(0, 0),
         }
+    }
+
+    /// Attaches a tracer; `track` is the pseudo-core the engine's
+    /// transfer spans are attributed to (typically one past the node's
+    /// core count).
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        self.tracer = tracer;
+        self.track = track;
     }
 
     /// Creates a shared handle to a new engine.
@@ -194,14 +209,15 @@ impl DmaEngine {
             return SimDuration::ZERO;
         }
         let chunks = req.src.page_chunks().count() as u64;
-        let bytes_ns = (req.len() as u128 * self.config.transfer_ps_per_byte as u128)
-            .div_ceil(1000) as u64;
+        let bytes_ns =
+            (req.len() as u128 * self.config.transfer_ps_per_byte as u128).div_ceil(1000) as u64;
         SimDuration::from_nanos(bytes_ns) + self.config.per_chunk * chunks
     }
 
-    /// Total wall-clock cost of a copy when nothing overlaps: CPU overhead
-    /// + transfer + completion. Used to compare against a CPU `memcpy` and
-    /// to compute the overlappable fraction (Fig. 6's `Overlap` line).
+    /// Total wall-clock cost of a copy when nothing overlaps: CPU
+    /// overhead, transfer and completion. Used to compare against a CPU
+    /// `memcpy` and to compute the overlappable fraction (Fig. 6's
+    /// `Overlap` line).
     pub fn total_cost(&self, req: &DmaRequest) -> SimDuration {
         self.cpu_overhead(req) + self.transfer_time(req) + self.config.completion
     }
@@ -236,13 +252,28 @@ impl DmaEngine {
         };
         let this2 = Rc::clone(this);
         let channel = Rc::clone(&this.borrow().channel);
-        let mut chan = channel.borrow_mut();
-        chan.run_job(sim, transfer, move |sim| {
-            if let Some(cache) = this2.borrow().cache.clone() {
-                cache.borrow_mut().invalidate_range(req.dst);
-            }
-            on_complete(sim);
-        })
+        let done = {
+            let mut chan = channel.borrow_mut();
+            chan.run_job(sim, transfer, move |sim| {
+                if let Some(cache) = this2.borrow().cache.clone() {
+                    cache.borrow_mut().invalidate_range(req.dst);
+                }
+                on_complete(sim);
+            })
+        };
+        // `run_job` serializes on the channel, so the transfer occupied
+        // exactly [done - transfer, done) — recorded retroactively.
+        {
+            let eng = this.borrow();
+            eng.tracer.span(
+                "dma_transfer",
+                Category::Dma,
+                eng.track,
+                done - transfer,
+                done,
+            );
+        }
+        done
     }
 }
 
@@ -316,7 +347,11 @@ mod tests {
         assert!(cache.borrow().resident_lines(r.dst) > 0);
         DmaEngine::issue(&e, &mut sim, r, |_| {});
         sim.run();
-        assert_eq!(cache.borrow().resident_lines(r.dst), 0, "stale lines dropped");
+        assert_eq!(
+            cache.borrow().resident_lines(r.dst),
+            0,
+            "stale lines dropped"
+        );
     }
 
     #[test]

@@ -26,12 +26,19 @@ fn run(ioat: IoatConfig) {
         bs.cpu_utilization(SimTime::ZERO, end)
     );
     for (i, core) in bs.cores().members().iter().enumerate() {
-        let u = core.borrow().meter().utilization_between(SimTime::ZERO, end);
+        let u = core
+            .borrow()
+            .meter()
+            .utilization_between(SimTime::ZERO, end);
         println!("  core{i} util     : {u:.4}");
     }
     println!(
         "  interrupts {} frames {} deliveries {} (dma {}) acks {}",
-        stats.interrupts, stats.frames_processed, stats.deliveries, stats.dma_deliveries, stats.acks
+        stats.interrupts,
+        stats.frames_processed,
+        stats.deliveries,
+        stats.dma_deliveries,
+        stats.acks
     );
     let cache = bs.cache().borrow();
     println!(
@@ -57,11 +64,7 @@ fn run(ioat: IoatConfig) {
     );
 }
 
-fn wirepair(
-    a: &stack::StackRef,
-    b: &stack::StackRef,
-    coalescing: bool,
-) -> (usize, usize) {
+fn wirepair(a: &stack::StackRef, b: &stack::StackRef, coalescing: bool) -> (usize, usize) {
     stack::wire(
         a,
         b,

@@ -3,7 +3,6 @@
 
 use ioat_memsim::{CopyParams, DmaConfig};
 use ioat_simcore::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Standard Ethernet MTU.
 pub const MTU_STANDARD: u64 = 1500;
@@ -15,7 +14,8 @@ pub const TCPIP_HEADERS: u64 = 40;
 
 /// Per-connection socket options — the knobs the paper sweeps as
 /// "Cases 1–5" in §4.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SocketOpts {
     /// Send socket buffer in bytes; bounds the sender's in-flight window.
     pub sndbuf: u64,
@@ -118,7 +118,8 @@ impl Default for SocketOpts {
 }
 
 /// Which I/OAT features are active on a node (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IoatConfig {
     /// Offload kernel→user copies to the asynchronous DMA engine.
     pub dma_engine: bool,
@@ -192,7 +193,8 @@ impl IoatConfig {
 /// paper cites (\[11], \[15], \[16]): receive-side processing costs a few
 /// microseconds per packet, dominated by memory accesses, and goes up
 /// sharply when connection/header state misses in cache.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StackParams {
     /// Fixed CPU cost per received packet (demux, TCP state machine),
     /// excluding the cache-dependent accesses below.

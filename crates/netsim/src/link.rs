@@ -126,10 +126,12 @@ mod tests {
         let rev_done = Rc::new(RefCell::new(0u64));
         let f = Rc::clone(&fwd_done);
         let r = Rc::clone(&rev_done);
-        link.forward
-            .transmit(&mut sim, 1_500, move |sim| *f.borrow_mut() = sim.now().as_nanos());
-        link.reverse
-            .transmit(&mut sim, 1_500, move |sim| *r.borrow_mut() = sim.now().as_nanos());
+        link.forward.transmit(&mut sim, 1_500, move |sim| {
+            *f.borrow_mut() = sim.now().as_nanos()
+        });
+        link.reverse.transmit(&mut sim, 1_500, move |sim| {
+            *r.borrow_mut() = sim.now().as_nanos()
+        });
         sim.run();
         // Both finish at 12us — no shared serialization.
         assert_eq!(*fwd_done.borrow(), 12_000);

@@ -8,7 +8,6 @@
 
 use crate::tcp::ConnId;
 use ioat_simcore::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Default interrupt-throttle gap: even with explicit coalescing off, the
 /// adapter (like the e1000's default ITR) never raises interrupts closer
@@ -21,7 +20,8 @@ pub const FRAME_OVERHEAD: u64 = 78;
 
 /// A frame as seen by the receiving NIC: payload bytes of a connection's
 /// stream ending at cumulative sequence `seq_end`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Frame {
     /// The connection the frame belongs to.
     pub conn: ConnId,
@@ -178,7 +178,10 @@ mod tests {
             c.on_frame(t1),
             CoalesceAction::ArmTimer(d) if d == ITR_MIN_GAP - SimDuration::from_micros(10)
         ));
-        assert_eq!(c.on_frame(SimTime::from_micros(20)), CoalesceAction::Accumulate);
+        assert_eq!(
+            c.on_frame(SimTime::from_micros(20)),
+            CoalesceAction::Accumulate
+        );
         assert!(c.on_timer());
         assert_eq!(c.take_batch(SimTime::ZERO + ITR_MIN_GAP), 2);
         // ...and a frame past the gap raises immediately again.
@@ -189,7 +192,9 @@ mod tests {
     #[test]
     fn timer_flushes_partial_batch() {
         let mut c = RxCoalescer::new(true, 8, SimDuration::from_micros(30));
-        assert!(matches!(c.on_frame(SimTime::ZERO), CoalesceAction::ArmTimer(d) if d == SimDuration::from_micros(30)));
+        assert!(
+            matches!(c.on_frame(SimTime::ZERO), CoalesceAction::ArmTimer(d) if d == SimDuration::from_micros(30))
+        );
         assert_eq!(c.on_frame(SimTime::ZERO), CoalesceAction::Accumulate);
         assert!(c.on_timer(), "timer finds a 2-frame batch");
         assert_eq!(c.take_batch(SimTime::from_micros(30)), 2);
@@ -207,13 +212,19 @@ mod tests {
         assert!(c.on_timer());
         assert_eq!(c.take_batch(SimTime::ZERO), 3);
         // Next frame re-arms a fresh timer.
-        assert!(matches!(c.on_frame(SimTime::ZERO), CoalesceAction::ArmTimer(_)));
+        assert!(matches!(
+            c.on_frame(SimTime::ZERO),
+            CoalesceAction::ArmTimer(_)
+        ));
     }
 
     #[test]
     fn full_batch_raises_before_timer_when_not_first() {
         let mut c = RxCoalescer::new(true, 2, SimDuration::from_micros(30));
-        assert!(matches!(c.on_frame(SimTime::ZERO), CoalesceAction::ArmTimer(_)));
+        assert!(matches!(
+            c.on_frame(SimTime::ZERO),
+            CoalesceAction::ArmTimer(_)
+        ));
         // Second frame fills the max while the timer is armed: it
         // accumulates (the timer will flush it).
         assert_eq!(c.on_frame(SimTime::ZERO), CoalesceAction::Accumulate);

@@ -122,10 +122,7 @@ pub fn socket_pair(
 ) -> (Socket, Socket) {
     let (pa, pb) = stack::wire(a, b, bandwidth, latency, opts.coalescing);
     stack::open_connection(a, b, pa, pb, opts, id);
-    (
-        Socket::new(Rc::clone(a), id),
-        Socket::new(Rc::clone(b), id),
-    )
+    (Socket::new(Rc::clone(a), id), Socket::new(Rc::clone(b), id))
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ use ioat_memsim::{
 };
 use ioat_simcore::resource::ResourcePool;
 use ioat_simcore::{RateMeter, Sim, SimDuration, SimTime};
+use ioat_telemetry::{Category, Tracer, TrackId};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -101,6 +102,8 @@ pub struct HostStack {
     rx_meter: RateMeter,
     tx_meter: RateMeter,
     stats: StackStats,
+    tracer: Tracer,
+    node_id: u32,
 }
 
 impl std::fmt::Debug for HostStack {
@@ -153,6 +156,8 @@ impl HostStack {
             rx_meter: RateMeter::new(),
             tx_meter: RateMeter::new(),
             stats: StackStats::default(),
+            tracer: Tracer::disabled(),
+            node_id: 0,
         }))
     }
 
@@ -191,6 +196,34 @@ impl HostStack {
         self.stats
     }
 
+    /// Attaches a tracer. `node_id` becomes the Chrome-trace pid; each
+    /// core gets a named track and the DMA channel (when present) shows up
+    /// as a pseudo-core one past the core count. Spans are recorded
+    /// retroactively from already-computed costs, so enabling tracing
+    /// cannot change simulated behavior.
+    pub fn set_tracer(&mut self, tracer: Tracer, node_id: u32) {
+        tracer.set_process_name(node_id, &self.name);
+        for i in 0..self.cores.len() {
+            tracer.set_track_name(TrackId::new(node_id, i as u32), &format!("core{i}"));
+        }
+        if let Some(dma) = &self.dma {
+            let track = TrackId::new(node_id, self.cores.len() as u32);
+            tracer.set_track_name(track, "dma-chan");
+            dma.borrow_mut().set_tracer(tracer.clone(), track);
+        }
+        self.tracer = tracer;
+        self.node_id = node_id;
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    fn track(&self, core: usize) -> TrackId {
+        TrackId::new(self.node_id, core as u32)
+    }
+
     /// Application-level received-byte meter (goodput).
     pub fn rx_meter(&self) -> &RateMeter {
         &self.rx_meter
@@ -225,9 +258,7 @@ impl HostStack {
     /// Per-connection delivered throughput in Mbps over the window ending
     /// at `now`.
     pub fn conn_mbps(&self, conn: ConnId, now: SimTime) -> f64 {
-        self.conns
-            .get(&conn)
-            .map_or(0.0, |c| c.delivered.mbps(now))
+        self.conns.get(&conn).map_or(0.0, |c| c.delivered.mbps(now))
     }
 
     /// Adds a NIC port transmitting over `tx`; returns the port index.
@@ -309,19 +340,15 @@ impl HostStack {
             // memory stalls (`pollution_stall_per_frame`); split-header
             // placement is immune to this (Fig. 7b).
             let len = p.header_bytes.min(frame.payload.max(1));
-            let off = RecvState::ring_offset(
-                frame.seq_end,
-                rcv_kernel_buf.len(),
-                frame.payload.max(len),
-            );
+            let off =
+                RecvState::ring_offset(frame.seq_end, rcv_kernel_buf.len(), frame.payload.max(len));
             let out = cache.access_range(rcv_kernel_buf.slice(off, len));
             let mut cost = p.line_hit * out.hit_lines + p.line_miss * out.miss_lines;
             // Effective L2 headroom for backlog is a fraction of the
             // cache; the stall ramps in past ~10 % occupancy and
             // saturates at ~40 %.
             let cap = cache.config().capacity as f64;
-            let pressure =
-                ((self.queued_bytes as f64 - 0.10 * cap) / (0.30 * cap)).clamp(0.0, 1.0);
+            let pressure = ((self.queued_bytes as f64 - 0.10 * cap) / (0.30 * cap)).clamp(0.0, 1.0);
             if pressure > 0.0 {
                 self.stats.stalled_frames += 1;
                 cost += p.pollution_stall_per_frame.mul_f64(pressure);
@@ -388,7 +415,10 @@ pub fn open_connection(
         opts.read_size <= opts.rcvbuf,
         "read_size must fit in the receive buffer"
     );
-    assert!(opts.mss() <= opts.rcvbuf, "MSS must fit in the receive buffer");
+    assert!(
+        opts.mss() <= opts.rcvbuf,
+        "MSS must fit in the receive buffer"
+    );
     {
         let sa = a.borrow();
         let port = &sa.ports[port_a];
@@ -487,19 +517,21 @@ where
     F: FnOnce(&mut Sim) + 'static,
 {
     let _ = conn;
-    let core = {
+    let (core, tracer, track) = {
         let st = s.borrow();
-        Rc::clone(st.cores.least_loaded(sim.now()))
+        let idx = st.cores.least_loaded_index(sim.now());
+        (
+            Rc::clone(st.cores.member(idx)),
+            st.tracer.clone(),
+            st.track(idx),
+        )
     };
-    core.borrow_mut().run_job(sim, duration, then);
+    let end = core.borrow_mut().run_job(sim, duration, then);
+    tracer.span("app_compute", Category::App, track, end - duration, end);
 }
 
 fn emit(s: &StackRef, sim: &mut Sim, conn: ConnId, ev: SocketEvent) {
-    let h = s
-        .borrow()
-        .conns
-        .get(&conn)
-        .and_then(|c| c.handler.clone());
+    let h = s.borrow().conns.get(&conn).and_then(|c| c.handler.clone());
     if let Some(h) = h {
         (h.borrow_mut())(sim, ev);
     }
@@ -528,7 +560,7 @@ pub fn app_send(s: &StackRef, sim: &mut Sim, conn: ConnId, bytes: u64) {
 /// Processes one `send()`-sized chunk: charges the CPU costs, enqueues the
 /// bytes, pumps the window, then schedules the next chunk.
 fn send_chunk(s: &StackRef, sim: &mut Sim, conn: ConnId, remaining: u64) {
-    let (core, cost, chunk) = {
+    let (core, cost, chunk, copy_cost, tracer, track) = {
         let st = s.borrow_mut();
         let p = st.params;
         let (opts, user_buf, kernel_buf, seq) = {
@@ -542,6 +574,7 @@ fn send_chunk(s: &StackRef, sim: &mut Sim, conn: ConnId, remaining: u64) {
         };
         let chunk = remaining.min(p.tso_chunk).min(opts.sndbuf);
         let mut cost = p.syscall;
+        let mut copy_cost = SimDuration::ZERO;
         if !opts.sendfile {
             // User→kernel copy through this node's cache.
             let off_u = RecvState::ring_offset(seq, user_buf.len(), chunk);
@@ -553,6 +586,7 @@ fn send_chunk(s: &StackRef, sim: &mut Sim, conn: ConnId, remaining: u64) {
                 user_buf.slice(off_u, chunk),
                 kernel_buf.slice(off_k, chunk),
             );
+            copy_cost = out.duration;
             cost += out.duration;
         }
         // Segmentation: per-MSS on the CPU, or one cheap call with TSO.
@@ -563,10 +597,17 @@ fn send_chunk(s: &StackRef, sim: &mut Sim, conn: ConnId, remaining: u64) {
         }
         let core_idx = st.app_core_for(conn);
         let core = Rc::clone(st.cores.member(core_idx));
-        (core, cost, chunk)
+        (
+            core,
+            cost,
+            chunk,
+            copy_cost,
+            st.tracer.clone(),
+            st.track(core_idx),
+        )
     };
     let s2 = Rc::clone(s);
-    core.borrow_mut().run_job(sim, cost, move |sim| {
+    let end = core.borrow_mut().run_job(sim, cost, move |sim| {
         {
             let mut st = s2.borrow_mut();
             if let Some(c) = st.conns.get_mut(&conn) {
@@ -579,6 +620,19 @@ fn send_chunk(s: &StackRef, sim: &mut Sim, conn: ConnId, remaining: u64) {
             send_chunk(&s2, sim, conn, left);
         }
     });
+    // Retroactive attribution: the user→kernel copy, then syscall +
+    // segmentation, on the sending application's core.
+    let start = end - cost;
+    if !copy_cost.is_zero() {
+        tracer.span("tx_copy", Category::Copy, track, start, start + copy_cost);
+    }
+    tracer.span(
+        "tx_proto",
+        Category::Protocol,
+        track,
+        start + copy_cost,
+        end,
+    );
 }
 
 /// Pushes as many frames as the window allows onto the wire.
@@ -587,7 +641,9 @@ fn pump(s: &StackRef, sim: &mut Sim, conn: ConnId) {
         let (frame, port, peer, peer_port) = {
             let mut st = s.borrow_mut();
             let now = sim.now();
-            let Some(c) = st.conns.get_mut(&conn) else { return };
+            let Some(c) = st.conns.get_mut(&conn) else {
+                return;
+            };
             let sendable = c.send.pending.min(c.send.usable_window());
             if sendable == 0 {
                 return;
@@ -662,7 +718,7 @@ pub fn frame_arrived(s: &StackRef, sim: &mut Sim, port: usize, frame: Frame) {
 /// the designated core: per-interrupt + per-frame costs, then per-frame
 /// protocol processing with cache-dependent state/header/payload accesses.
 fn raise_interrupt(s: &StackRef, sim: &mut Sim, port: usize) {
-    let (core, cost, frames) = {
+    let (core, cost, frames, irq_part, tracer, track) = {
         let mut st = s.borrow_mut();
         let n = st.ports[port].coalescer.take_batch(sim.now());
         if n == 0 {
@@ -671,7 +727,11 @@ fn raise_interrupt(s: &StackRef, sim: &mut Sim, port: usize) {
         let frames: Vec<Frame> = st.ports[port].pending_frames.drain(..).collect();
         debug_assert_eq!(frames.len(), n as usize);
         let p = st.params;
-        let mut cost = p.irq_cost + p.irq_per_frame * frames.len() as u64;
+        // Interrupt-handling part (per-event + per-frame) vs. the TCP/IP
+        // protocol part (per-frame base + cache-dependent accesses) — the
+        // paper's Fig. 7 decomposition.
+        let irq_part = p.irq_cost + p.irq_per_frame * frames.len() as u64;
+        let mut cost = irq_part;
         for f in &frames {
             let (state_buf, kernel_buf) = {
                 let c = st.conns.get(&f.conn).expect("frame for unknown conn");
@@ -684,10 +744,17 @@ fn raise_interrupt(s: &StackRef, sim: &mut Sim, port: usize) {
         st.stats.interrupts += 1;
         st.stats.frames_processed += frames.len() as u64;
         let core_idx = st.core_for_port(port);
-        (Rc::clone(st.cores.member(core_idx)), cost, frames)
+        (
+            Rc::clone(st.cores.member(core_idx)),
+            cost,
+            frames,
+            irq_part,
+            st.tracer.clone(),
+            st.track(core_idx),
+        )
     };
     let s2 = Rc::clone(s);
-    core.borrow_mut().run_job(sim, cost, move |sim| {
+    let end = core.borrow_mut().run_job(sim, cost, move |sim| {
         // Protocol processing done: advance streams, ACK, deliver.
         let mut acks: Vec<(ConnId, u64, u64)> = Vec::new();
         {
@@ -724,6 +791,9 @@ fn raise_interrupt(s: &StackRef, sim: &mut Sim, port: usize) {
             try_deliver(&s2, sim, conn);
         }
     });
+    let start = end - cost;
+    tracer.span("irq", Category::Interrupt, track, start, start + irq_part);
+    tracer.span("tcpip", Category::Protocol, track, start + irq_part, end);
 }
 
 /// Sends a cumulative ACK + window update back to the peer. ACKs travel at
@@ -748,7 +818,7 @@ fn send_ack(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window: u64) {
 /// Sender-side ACK processing: charged to the interrupt core, then the
 /// window reopens and more frames go out.
 pub fn ack_received(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window: u64) {
-    let (core, cost) = {
+    let (core, cost, tracer, track) = {
         let mut st = s.borrow_mut();
         if !st.conns.contains_key(&conn) {
             return;
@@ -756,13 +826,20 @@ pub fn ack_received(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window:
         st.stats.acks += 1;
         let port = st.conns[&conn].send.port;
         let core_idx = st.core_for_port(port);
-        (Rc::clone(st.cores.member(core_idx)), st.params.ack_cost)
+        (
+            Rc::clone(st.cores.member(core_idx)),
+            st.params.ack_cost,
+            st.tracer.clone(),
+            st.track(core_idx),
+        )
     };
     let s2 = Rc::clone(s);
-    core.borrow_mut().run_job(sim, cost, move |sim| {
+    let end = core.borrow_mut().run_job(sim, cost, move |sim| {
         let drained = {
             let mut st = s2.borrow_mut();
-            let Some(c) = st.conns.get_mut(&conn) else { return };
+            let Some(c) = st.conns.get_mut(&conn) else {
+                return;
+            };
             c.send.on_ack(seq, window);
             c.send.drained() && c.send.waiting_for_drain
         };
@@ -783,6 +860,7 @@ pub fn ack_received(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window:
             }
         }
     });
+    tracer.span("ack", Category::Protocol, track, end - cost, end);
 }
 
 /// Starts a kernel→user delivery for `conn` if bytes are queued and no
@@ -792,20 +870,27 @@ fn try_deliver(s: &StackRef, sim: &mut Sim, conn: ConnId) {
         Cpu {
             core: ioat_simcore::ResourceRef,
             cost: SimDuration,
+            wake: SimDuration,
             bytes: u64,
+            track: TrackId,
         },
         Dma {
             core: ioat_simcore::ResourceRef,
             overhead: SimDuration,
+            wake: SimDuration,
             req: DmaRequest,
             engine: DmaEngineRef,
             bytes: u64,
+            track: TrackId,
         },
     }
 
+    let tracer = s.borrow().tracer.clone();
     let plan = {
         let mut st = s.borrow_mut();
-        let Some(c) = st.conns.get_mut(&conn) else { return };
+        let Some(c) = st.conns.get_mut(&conn) else {
+            return;
+        };
         let queued = c.recv.queued();
         if c.recv.copying || queued == 0 {
             return;
@@ -841,61 +926,83 @@ fn try_deliver(s: &StackRef, sim: &mut Sim, conn: ConnId) {
             st.stats.dma_deliveries += 1;
             // The scheduler migrates runnable receive threads away from
             // busy cores, so deliveries dispatch least-loaded.
-            let core = Rc::clone(st.cores.least_loaded(sim.now()));
+            let idx = st.cores.least_loaded_index(sim.now());
             Plan::Dma {
-                core,
+                core: Rc::clone(st.cores.member(idx)),
                 overhead,
+                wake,
                 req,
                 engine,
                 bytes,
+                track: st.track(idx),
             }
         } else {
             let copier = st.copier;
             let cache = Rc::clone(&st.cache);
             let out = copier.copy(&mut cache.borrow_mut(), src, dst);
-            let core = Rc::clone(st.cores.least_loaded(sim.now()));
+            let idx = st.cores.least_loaded_index(sim.now());
             Plan::Cpu {
-                core,
+                core: Rc::clone(st.cores.member(idx)),
                 cost: wake + out.duration,
+                wake,
                 bytes,
+                track: st.track(idx),
             }
         }
     };
 
     match plan {
-        Plan::Cpu { core, cost, bytes } => {
+        Plan::Cpu {
+            core,
+            cost,
+            wake,
+            bytes,
+            track,
+        } => {
             let s2 = Rc::clone(s);
-            core.borrow_mut().run_job(sim, cost, move |sim| {
+            let end = core.borrow_mut().run_job(sim, cost, move |sim| {
                 finish_delivery(&s2, sim, conn, bytes);
             });
+            let start = end - cost;
+            tracer.span("rx_wake", Category::Protocol, track, start, start + wake);
+            tracer.span("rx_copy", Category::Copy, track, start + wake, end);
         }
         Plan::Dma {
             core,
             overhead,
+            wake,
             req,
             engine,
             bytes,
+            track,
         } => {
             let s2 = Rc::clone(s);
-            core.borrow_mut().run_job(sim, overhead, move |sim| {
+            let end = core.borrow_mut().run_job(sim, overhead, move |sim| {
                 let s3 = Rc::clone(&s2);
                 let engine2 = Rc::clone(&engine);
                 DmaEngine::issue(&engine2, sim, req, move |sim| {
                     // Reap the completion on the thread's core, then
                     // deliver.
-                    let (core, cost) = {
+                    let (core, cost, tracer, track) = {
                         let st = s3.borrow();
+                        let idx = st.cores.least_loaded_index(sim.now());
                         (
-                            Rc::clone(st.cores.least_loaded(sim.now())),
+                            Rc::clone(st.cores.member(idx)),
                             st.params.dma.completion,
+                            st.tracer.clone(),
+                            st.track(idx),
                         )
                     };
                     let s4 = Rc::clone(&s3);
-                    core.borrow_mut().run_job(sim, cost, move |sim| {
+                    let end = core.borrow_mut().run_job(sim, cost, move |sim| {
                         finish_delivery(&s4, sim, conn, bytes);
                     });
+                    tracer.span("dma_reap", Category::Dma, track, end - cost, end);
                 });
             });
+            let start = end - overhead;
+            tracer.span("rx_wake", Category::Protocol, track, start, start + wake);
+            tracer.span("dma_issue", Category::Dma, track, start + wake, end);
         }
     }
 }
@@ -928,6 +1035,13 @@ fn finish_delivery(s: &StackRef, sim: &mut Sim, conn: ConnId, bytes: u64) {
             _ => {}
         }
         st.queued_bytes -= bytes;
+        st.tracer.counter(
+            "rx_backlog_bytes",
+            Category::Other,
+            TrackId::new(st.node_id, 0),
+            now,
+            st.queued_bytes as f64,
+        );
         out
     };
     send_ack(s, sim, conn, seq, window);
@@ -1084,7 +1198,10 @@ mod tests {
         app_send(&a, &mut sim, conn, 5_000_000);
         let end = sim.run();
         let mbps = b.borrow().rx_meter().mbps(end);
-        assert!(mbps < 700.0, "small window should throttle ({mbps:.0} Mbps)");
+        assert!(
+            mbps < 700.0,
+            "small window should throttle ({mbps:.0} Mbps)"
+        );
     }
 
     #[test]
@@ -1097,6 +1214,44 @@ mod tests {
         a.borrow_mut().add_port(la, false);
         b.borrow_mut().add_port(lb, false);
         open_connection(&a, &b, 0, 0, SocketOpts::tuned(), ConnId(9));
+    }
+
+    #[test]
+    fn tracing_is_non_perturbing_and_attributes_receive_path() {
+        let run = |tracer: Option<Tracer>| {
+            let (mut sim, a, b, conn) = pair(IoatConfig::full(), SocketOpts::tuned());
+            let tr = tracer.unwrap_or_default();
+            a.borrow_mut().set_tracer(tr.clone(), 0);
+            b.borrow_mut().set_tracer(tr.clone(), 1);
+            app_send(&a, &mut sim, conn, 2_000_000);
+            let end = sim.run();
+            let util = b.borrow().cpu_utilization(SimTime::ZERO, end);
+            let stats = b.borrow().stats();
+            (end, util, stats, tr)
+        };
+        let (end_off, util_off, stats_off, _) = run(None);
+        let (end_on, util_on, stats_on, tr) = run(Some(Tracer::enabled()));
+        assert_eq!(end_off, end_on, "tracing must not change event timing");
+        assert_eq!(util_off.to_bits(), util_on.to_bits());
+        assert_eq!(stats_off.deliveries, stats_on.deliveries);
+        // The receive path shows up in every paper category.
+        let events = tr.events();
+        for cat in [
+            Category::Interrupt,
+            Category::Protocol,
+            Category::Copy,
+            Category::Dma,
+        ] {
+            assert!(
+                events.iter().any(|e| e.cat == cat),
+                "no {} events recorded",
+                cat.name()
+            );
+        }
+        // Engine transfers land on the DMA pseudo-track (core 4 of node 1).
+        assert!(events
+            .iter()
+            .any(|e| e.name == "dma_transfer" && e.track == TrackId::new(1, 4)));
     }
 
     #[test]
@@ -1121,6 +1276,9 @@ mod tests {
         let m2 = b.borrow().conn_mbps(c2, end);
         assert!(m1 > 0.0 && m2 > 0.0);
         let ratio = m1 / m2;
-        assert!((0.7..1.4).contains(&ratio), "unfair split: {m1:.0} vs {m2:.0}");
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "unfair split: {m1:.0} vs {m2:.0}"
+        );
     }
 }

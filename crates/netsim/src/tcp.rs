@@ -9,11 +9,11 @@
 
 use crate::config::SocketOpts;
 use ioat_memsim::Buffer;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a connection; both endpoints use the same id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConnId(pub u64);
 
 impl fmt::Display for ConnId {

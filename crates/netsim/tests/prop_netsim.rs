@@ -20,15 +20,17 @@ fn opts_strategy() -> impl Strategy<Value = SocketOpts> {
         any::<bool>(),
         prop::sample::select(vec![8 * 1024u64, 16 * 1024, 64 * 1024]),
     )
-        .prop_map(|(buf, tso, mtu, coalescing, sendfile, read_size)| SocketOpts {
-            sndbuf: buf,
-            rcvbuf: buf,
-            tso,
-            mtu,
-            coalescing,
-            sendfile,
-            read_size,
-        })
+        .prop_map(
+            |(buf, tso, mtu, coalescing, sendfile, read_size)| SocketOpts {
+                sndbuf: buf,
+                rcvbuf: buf,
+                tso,
+                mtu,
+                coalescing,
+                sendfile,
+                read_size,
+            },
+        )
 }
 
 proptest! {

@@ -26,7 +26,9 @@ fn main() {
             (ioat.mbytes_per_sec - non.mbytes_per_sec) / non.mbytes_per_sec * 100.0
         );
     }
-    println!("--- Fig 12: multi-stream read (paper: ioat >= non, client cpu ~10% higher for ioat) ---");
+    println!(
+        "--- Fig 12: multi-stream read (paper: ioat >= non, client cpu ~10% higher for ioat) ---"
+    );
     for threads in [1usize, 4, 16, 64] {
         let cfg = PvfsConfig::paper(6, 1, IoatConfig::disabled());
         let non = multi_stream_read(&cfg, threads);
@@ -35,8 +37,10 @@ fn main() {
         let ioat = multi_stream_read(&cfg2, threads);
         println!(
             "n={threads:2}: non {:5.0} MB/s cpu {:4.1}% | ioat {:5.0} MB/s cpu {:4.1}%",
-            non.mbytes_per_sec, non.client_cpu * 100.0,
-            ioat.mbytes_per_sec, ioat.client_cpu * 100.0
+            non.mbytes_per_sec,
+            non.client_cpu * 100.0,
+            ioat.mbytes_per_sec,
+            ioat.client_cpu * 100.0
         );
     }
 }

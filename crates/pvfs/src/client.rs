@@ -11,13 +11,13 @@ use crate::layout::{Layout, StripePiece};
 use ioat_netsim::msg::MsgSender;
 use ioat_netsim::Socket;
 use ioat_simcore::{Counter, Sim, SimDuration};
-use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Direction of the concurrent test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum IoMode {
     /// `pvfs-test` read phase: servers stream to clients.
     Read,
@@ -26,7 +26,8 @@ pub enum IoMode {
 }
 
 /// Per-client driving parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClientParams {
     /// Outstanding piece requests per client process.
     pub pipeline: usize,
@@ -173,7 +174,11 @@ impl ClientProcess {
     }
 }
 
-fn issue(state: &Rc<RefCell<State>>, senders: &Rc<RefCell<Vec<MsgSender<IodRequest>>>>, sim: &mut Sim) {
+fn issue(
+    state: &Rc<RefCell<State>>,
+    senders: &Rc<RefCell<Vec<MsgSender<IodRequest>>>>,
+    sim: &mut Sim,
+) {
     loop {
         let action = {
             let mut st = state.borrow_mut();

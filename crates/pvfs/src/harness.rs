@@ -20,10 +20,14 @@ use crate::meta::{self, MetaParams, META_REQ_BYTES};
 use ioat_core::cluster::{Cluster, NodeConfig};
 use ioat_core::metrics::ExperimentWindow;
 use ioat_core::{IoatConfig, SocketOpts};
-use ioat_simcore::{Counter, SimDuration};
-use serde::{Deserialize, Serialize};
+use ioat_simcore::{Counter, SimDuration, SimTime};
+use ioat_telemetry::{Category, Tracer, TrackId};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Pseudo node id for per-client I/O-operation lanes in exported traces
+/// (real nodes are 0 = compute, 1 = io-server).
+pub const IO_LANES_NODE: u32 = 2;
 
 /// Configuration of a PVFS experiment.
 #[derive(Debug, Clone, Copy)]
@@ -81,7 +85,8 @@ impl PvfsConfig {
 }
 
 /// Outcome of a PVFS experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PvfsResult {
     /// Aggregate bandwidth in MB/s (10^6 bytes/s), the paper's unit.
     pub mbytes_per_sec: f64,
@@ -94,8 +99,16 @@ pub struct PvfsResult {
 }
 
 fn run(cfg: &PvfsConfig, mode: IoMode) -> PvfsResult {
+    run_traced(cfg, mode, &Tracer::disabled())
+}
+
+fn run_traced(cfg: &PvfsConfig, mode: IoMode, tracer: &Tracer) -> PvfsResult {
     assert!(cfg.io_servers > 0 && cfg.clients > 0);
     let mut cluster = Cluster::new(0xF5);
+    cluster.set_tracer(tracer.clone());
+    if tracer.is_enabled() {
+        tracer.set_process_name(IO_LANES_NODE, "pvfs-ops");
+    }
     let compute = cluster.add_node(NodeConfig::testbed("compute", cfg.ioat));
     let server = cluster.add_node(NodeConfig::testbed("io-server", cfg.ioat));
     let opts = SocketOpts::tuned();
@@ -128,16 +141,23 @@ fn run(cfg: &PvfsConfig, mode: IoMode) -> PvfsResult {
             Rc::clone(&done),
             client_socks[0].clone(),
         ));
+        let lane = TrackId::new(IO_LANES_NODE, c as u32);
+        tracer.set_track_name(lane, &format!("client{c}"));
         for s in 0..cfg.io_servers {
             // One read posted at a time per connection: while the client
             // thread processes a piece, further data backs up in the
             // kernel (real recv-loop backpressure).
             client_socks[s].set_recv_credits(1);
+            let mut on_reply = process.reply_handler(s, client_socks[s].clone());
+            let trc = tracer.clone();
             let sender = iod::serve(
                 client_socks[s].clone(),
                 server_socks[s].clone(),
                 cfg.iod,
-                process.reply_handler(s, client_socks[s].clone()),
+                move |sim, reply| {
+                    trc.instant("io_reply", Category::Io, lane, sim.now());
+                    on_reply(sim, reply);
+                },
             );
             process.add_server_sender(sender);
         }
@@ -147,7 +167,10 @@ fn run(cfg: &PvfsConfig, mode: IoMode) -> PvfsResult {
         let (mc, ms) = cluster.open(compute, server, pairs[0], opts);
         let proc2 = Rc::clone(&process);
         let opens2 = Rc::clone(&opens);
+        let issued_at = SimTime::ZERO + SimDuration::from_micros(10 * c as u64);
+        let trc = tracer.clone();
         let meta_sender = meta::serve_meta(mc, ms, cfg.meta, move |sim, ()| {
+            trc.span("meta_open", Category::Io, lane, issued_at, sim.now());
             *opens2.borrow_mut() += 1;
             proc2.start(sim);
         });
@@ -178,9 +201,21 @@ pub fn concurrent_read(cfg: &PvfsConfig) -> PvfsResult {
     run(cfg, IoMode::Read)
 }
 
+/// [`concurrent_read`] with a tracer attached: stack-level spans on both
+/// nodes plus per-client I/O-operation lanes (`meta_open` spans,
+/// `io_reply` instants).
+pub fn concurrent_read_traced(cfg: &PvfsConfig, tracer: &Tracer) -> PvfsResult {
+    run_traced(cfg, IoMode::Read, tracer)
+}
+
 /// Fig. 11 — concurrent write: clients stream to servers.
 pub fn concurrent_write(cfg: &PvfsConfig) -> PvfsResult {
     run(cfg, IoMode::Write)
+}
+
+/// [`concurrent_write`] with a tracer attached.
+pub fn concurrent_write_traced(cfg: &PvfsConfig, tracer: &Tracer) -> PvfsResult {
+    run_traced(cfg, IoMode::Write, tracer)
 }
 
 /// Fig. 12 — multi-stream read with `threads` emulated clients on the
@@ -202,6 +237,24 @@ mod tests {
         assert!(r.mbytes_per_sec > 50.0, "read bw {}", r.mbytes_per_sec);
         assert_eq!(r.opens, 2);
         assert!(r.client_cpu > 0.0 && r.server_cpu > 0.0);
+    }
+
+    #[test]
+    fn tracing_records_io_lanes_without_perturbing() {
+        let cfg = PvfsConfig::quick_test(2, 2, IoatConfig::full());
+        let off = concurrent_read(&cfg);
+        let tracer = Tracer::enabled();
+        let on = concurrent_read_traced(&cfg, &tracer);
+        assert_eq!(off.mbytes_per_sec.to_bits(), on.mbytes_per_sec.to_bits());
+        assert_eq!(off.client_cpu.to_bits(), on.client_cpu.to_bits());
+        assert_eq!(off.opens, on.opens);
+        let events = tracer.events();
+        let opens = events
+            .iter()
+            .filter(|e| e.name == "meta_open" && e.cat == Category::Io)
+            .count() as u64;
+        assert_eq!(opens, on.opens, "one meta_open span per client open");
+        assert!(events.iter().any(|e| e.name == "io_reply"));
     }
 
     #[test]

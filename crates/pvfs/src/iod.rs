@@ -10,7 +10,6 @@
 use ioat_netsim::msg::{self, MsgSender};
 use ioat_netsim::Socket;
 use ioat_simcore::{Sim, SimDuration};
-use serde::{Deserialize, Serialize};
 use std::rc::Rc;
 
 /// Wire size of a read request.
@@ -19,7 +18,8 @@ pub const READ_REQ_BYTES: u64 = 128;
 pub const WRITE_ACK_BYTES: u64 = 64;
 
 /// Messages a client sends to an I/O daemon.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum IodRequest {
     /// Read `len` bytes of this server's stripe pieces.
     Read {
@@ -34,7 +34,8 @@ pub enum IodRequest {
 }
 
 /// Messages an I/O daemon sends back.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum IodReply {
     /// The message carries `len` bytes of file data.
     Data {
@@ -46,7 +47,8 @@ pub enum IodReply {
 }
 
 /// `ramfs` + request-handling costs of an I/O daemon.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IodParams {
     /// Fixed cost to decode and validate a request.
     pub request_handle: SimDuration,

@@ -4,13 +4,12 @@
 //! server nodes allowing parallel accesses to the data" (§3.2). The
 //! default stripe size is 64 KB, round-robin across servers.
 
-use serde::{Deserialize, Serialize};
-
 /// PVFS 1.x default stripe size.
 pub const DEFAULT_STRIPE: u64 = 64 * 1024;
 
 /// A file's striping parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Layout {
     /// Stripe unit in bytes.
     pub stripe_size: u64,
@@ -22,7 +21,8 @@ pub struct Layout {
 }
 
 /// One contiguous piece of a request, mapped to a single server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StripePiece {
     /// The I/O server holding the piece.
     pub server: usize,

@@ -9,7 +9,6 @@
 use ioat_netsim::msg::{self, MsgSender};
 use ioat_netsim::Socket;
 use ioat_simcore::{Sim, SimDuration};
-use serde::{Deserialize, Serialize};
 use std::rc::Rc;
 
 /// Wire size of a metadata request.
@@ -18,7 +17,8 @@ pub const META_REQ_BYTES: u64 = 256;
 pub const META_REPLY_BYTES: u64 = 512;
 
 /// Metadata operation costs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MetaParams {
     /// CPU cost of an `open` (permission check, layout lookup).
     pub open_cost: SimDuration,
@@ -45,7 +45,11 @@ where
     F: FnMut(&mut Sim, ()) + 'static,
 {
     // Replies manager → client.
-    let reply = Rc::new(msg::channel(manager_sock.clone(), client_sock.clone(), on_open));
+    let reply = Rc::new(msg::channel(
+        manager_sock.clone(),
+        client_sock.clone(),
+        on_open,
+    ));
     // Requests client → manager.
     let manager2 = manager_sock.clone();
     msg::channel(client_sock, manager_sock, move |sim: &mut Sim, _req: ()| {

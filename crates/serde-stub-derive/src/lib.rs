@@ -1,0 +1,18 @@
+//! No-op derive macros backing `ioat-serde-stub`.
+//!
+//! Each derive expands to nothing: the annotated type compiles unchanged and
+//! no trait impl is generated. That is sufficient because nothing in the
+//! workspace calls serialization functions — the gated derives exist so
+//! downstream users with registry access can swap in real `serde`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -7,8 +7,10 @@
 //! increasing sequence number), which makes every run bit-reproducible.
 
 use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::rc::Rc;
 
 /// An opaque handle identifying a scheduled event, usable with
 /// [`Sim::cancel`].
@@ -16,6 +18,13 @@ use std::collections::{BinaryHeap, HashSet};
 pub struct EventId(u64);
 
 type Action = Box<dyn FnOnce(&mut Sim)>;
+
+/// Observer invoked for every executed event (see [`Sim::set_event_hook`]).
+type EventHook = Rc<RefCell<dyn FnMut(SimTime, u64)>>;
+
+/// Tombstone count that triggers a queue compaction sweep. Below this the
+/// linear sweep costs more than the memory it reclaims.
+const COMPACT_MIN_TOMBSTONES: usize = 1024;
 
 struct Scheduled {
     at: SimTime,
@@ -74,6 +83,11 @@ pub struct Sim {
     /// Hard cap on executed events; guards against accidental infinite
     /// event loops in model code.
     event_limit: u64,
+    /// Optional per-event observer (telemetry). `None` costs nothing on
+    /// the hot path; when set, it is called with `(time, seq)` before each
+    /// action runs and cannot touch the simulator, so it cannot perturb
+    /// execution order.
+    hook: Option<EventHook>,
 }
 
 impl Default for Sim {
@@ -103,6 +117,7 @@ impl Sim {
             cancelled: HashSet::new(),
             executed: 0,
             event_limit: u64::MAX,
+            hook: None,
         }
     }
 
@@ -119,6 +134,25 @@ impl Sim {
     /// Number of events still pending (including cancelled tombstones).
     pub fn events_pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of cancelled events still occupying queue slots. Bounded by
+    /// the compaction sweep in [`Sim::cancel`]; exposed for regression
+    /// tests and diagnostics.
+    pub fn tombstones(&self) -> usize {
+        self.cancelled.len()
+    }
+
+    /// Installs an observer called with `(time, seq)` for every executed
+    /// event, replacing any previous hook. The observer deliberately gets
+    /// no simulator access: it can record, not perturb.
+    pub fn set_event_hook(&mut self, hook: impl FnMut(SimTime, u64) + 'static) {
+        self.hook = Some(Rc::new(RefCell::new(hook)));
+    }
+
+    /// Removes the event observer.
+    pub fn clear_event_hook(&mut self) {
+        self.hook = None;
     }
 
     /// Caps the total number of events this simulator will execute.
@@ -174,7 +208,25 @@ impl Sim {
             return false;
         }
         self.cancelled.insert(id.0);
+        self.maybe_compact();
         true
+    }
+
+    /// Sweeps cancelled entries out of the heap once tombstones pile up.
+    ///
+    /// `pop_next` already drains a tombstone when its time comes, but a
+    /// cancelled far-future event (a retransmit timer that never fires,
+    /// say) would otherwise hold its boxed closure — and everything the
+    /// closure captures — until that instant. Long cancel-heavy runs grew
+    /// without bound before this sweep. Amortized O(1): each sweep is
+    /// O(queue) but removes at least half the queue's tombstones.
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() >= COMPACT_MIN_TOMBSTONES
+            && self.cancelled.len() * 2 >= self.queue.len()
+        {
+            let cancelled = std::mem::take(&mut self.cancelled);
+            self.queue.retain(|ev| !cancelled.contains(&ev.seq));
+        }
     }
 
     fn pop_next(&mut self) -> Option<Scheduled> {
@@ -202,10 +254,7 @@ impl Sim {
     /// `limit`. Events at exactly `limit` do execute; the clock never
     /// advances past `limit` while events remain beyond it.
     pub fn run_until(&mut self, limit: SimTime) -> SimTime {
-        loop {
-            let Some(next_at) = self.queue.peek().map(|e| e.at) else {
-                break;
-            };
+        while let Some(next_at) = self.queue.peek().map(|e| e.at) {
             if next_at > limit {
                 // Do not execute, but advance to the window edge so callers
                 // can reason about elapsed time.
@@ -224,6 +273,9 @@ impl Sim {
                 self.event_limit,
                 self.now
             );
+            if let Some(hook) = self.hook.clone() {
+                (hook.borrow_mut())(ev.at, ev.seq);
+            }
             (ev.action)(self);
         }
         self.now
@@ -235,6 +287,9 @@ impl Sim {
         if let Some(ev) = self.pop_next() {
             self.now = ev.at;
             self.executed += 1;
+            if let Some(hook) = self.hook.clone() {
+                (hook.borrow_mut())(ev.at, ev.seq);
+            }
             (ev.action)(self);
             true
         } else {
@@ -249,7 +304,11 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    fn recorder() -> (Rc<RefCell<Vec<u64>>>, impl Fn(u64) -> Box<dyn FnOnce(&mut Sim)>) {
+    #[allow(clippy::type_complexity)]
+    fn recorder() -> (
+        Rc<RefCell<Vec<u64>>>,
+        impl Fn(u64) -> Box<dyn FnOnce(&mut Sim)>,
+    ) {
         let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
         let log2 = Rc::clone(&log);
         let mk = move |tag: u64| -> Box<dyn FnOnce(&mut Sim)> {
@@ -348,6 +407,73 @@ mod tests {
         }
         sim.schedule(SimDuration::ZERO, forever);
         sim.run();
+    }
+
+    #[test]
+    fn cancel_heavy_runs_stay_bounded() {
+        // Regression: cancelled far-future events used to keep their heap
+        // slot (and boxed closure) until their scheduled instant, so a
+        // schedule/cancel/run loop grew the queue without bound.
+        let mut sim = Sim::new();
+        let cycles = 20 * COMPACT_MIN_TOMBSTONES;
+        for i in 0..cycles {
+            // A far-future event that is always cancelled...
+            let id = sim.schedule(SimDuration::from_secs(3600), |_| {
+                panic!("cancelled event must never fire")
+            });
+            assert!(sim.cancel(id));
+            // ...and a near event that actually runs.
+            sim.schedule(SimDuration::from_nanos(1), |_| {});
+            sim.run_until(sim.now() + SimDuration::from_nanos(1));
+            let bound = 2 * COMPACT_MIN_TOMBSTONES + 2;
+            assert!(
+                sim.events_pending() <= bound,
+                "queue grew to {} after {} cycles",
+                sim.events_pending(),
+                i + 1
+            );
+            assert!(sim.tombstones() <= bound);
+        }
+        assert_eq!(sim.events_executed(), cycles as u64);
+        // Draining the queue afterwards must not fire any cancelled event.
+        sim.run();
+    }
+
+    #[test]
+    fn compaction_preserves_live_events() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        // One live event wedged between many cancelled ones, forcing a
+        // sweep while it is in the heap.
+        sim.schedule(SimDuration::from_nanos(50), mk(42));
+        for _ in 0..4 * COMPACT_MIN_TOMBSTONES {
+            let id = sim.schedule(SimDuration::from_secs(10), mk(0));
+            sim.cancel(id);
+        }
+        assert!(sim.events_pending() < 4 * COMPACT_MIN_TOMBSTONES);
+        sim.run();
+        assert_eq!(*log.borrow(), vec![42]);
+    }
+
+    #[test]
+    fn event_hook_observes_every_event() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        let seen: Rc<RefCell<Vec<(SimTime, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let s = Rc::clone(&seen);
+        sim.set_event_hook(move |at, seq| s.borrow_mut().push((at, seq)));
+        sim.schedule(SimDuration::from_nanos(10), mk(1));
+        sim.schedule(SimDuration::from_nanos(20), mk(2));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2]);
+        assert_eq!(
+            *seen.borrow(),
+            vec![(SimTime::from_nanos(10), 0), (SimTime::from_nanos(20), 1)]
+        );
+        sim.clear_event_hook();
+        sim.schedule(SimDuration::from_nanos(5), mk(3));
+        sim.run();
+        assert_eq!(seen.borrow().len(), 2, "cleared hook sees nothing");
     }
 
     #[test]

@@ -256,10 +256,18 @@ impl ResourcePool {
     /// The member with the least queued work at `now` (ties broken by
     /// lowest index, keeping runs deterministic).
     pub fn least_loaded(&self, now: SimTime) -> &ResourceRef {
+        self.member(self.least_loaded_index(now))
+    }
+
+    /// Index of the member [`ResourcePool::least_loaded`] would pick —
+    /// for callers that also need to attribute the work to a core.
+    pub fn least_loaded_index(&self, now: SimTime) -> usize {
         self.members
             .iter()
-            .min_by_key(|r| r.borrow().backlog_at(now))
+            .enumerate()
+            .min_by_key(|(_, r)| r.borrow().backlog_at(now))
             .expect("pool is non-empty")
+            .0
     }
 
     /// Aggregate busy time across members within `[from, to)`.

@@ -7,7 +7,6 @@
 //! sample.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A monotonically increasing event/byte counter bound to a measurement
@@ -20,7 +19,8 @@ use std::fmt;
 /// bytes.add_at(SimTime::from_micros(2), 500);
 /// assert_eq!(bytes.total(), 1_500);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Counter {
     total: u64,
     window_start: SimTime,
@@ -87,7 +87,8 @@ pub fn bytes_to_mbytes_per_sec(bytes: u64, elapsed: SimDuration) -> f64 {
 
 /// A windowed throughput meter: counts bytes and reports Mbps/MBps over a
 /// measurement window, excluding warm-up.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RateMeter {
     bytes: Counter,
 }
@@ -130,7 +131,8 @@ impl RateMeter {
 }
 
 /// Online mean/min/max/variance (Welford) summary.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -215,7 +217,8 @@ impl fmt::Display for Summary {
 /// 64 major buckets × `SUB` sub-buckets. Relative error is bounded by
 /// `1/SUB` (≈ 3% with 32 sub-buckets), plenty for reporting latency
 /// percentiles.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
@@ -447,9 +450,7 @@ mod tests {
     #[test]
     fn unit_conversions() {
         assert!((bytes_to_mbps(1_250_000, SimDuration::from_secs(1)) - 10.0).abs() < 1e-9);
-        assert!(
-            (bytes_to_mbytes_per_sec(2_000_000, SimDuration::from_secs(2)) - 1.0).abs() < 1e-9
-        );
+        assert!((bytes_to_mbytes_per_sec(2_000_000, SimDuration::from_secs(2)) - 1.0).abs() < 1e-9);
         assert_eq!(bytes_to_mbps(1, SimDuration::ZERO), 0.0);
     }
 }

@@ -6,7 +6,6 @@
 //! 3.46 GHz clock (≈ 0.29 ns) without accumulating drift over the
 //! millisecond-scale measurement windows the experiments use.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -22,7 +21,8 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::ZERO + SimDuration::from_micros(3);
 /// assert_eq!(t.as_nanos(), 3_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimTime(u64);
 
 /// A span of simulated time in nanoseconds.
@@ -32,7 +32,8 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_micros(2) + SimDuration::from_nanos(500);
 /// assert_eq!(d.as_nanos(), 2_500);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -286,7 +287,8 @@ impl fmt::Display for SimDuration {
 /// // A 1500-byte frame takes 12 microseconds at line rate.
 /// assert_eq!(gige.transfer_time(1_500).as_nanos(), 12_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bandwidth {
     bits_per_sec: u64,
 }
@@ -349,9 +351,9 @@ pub mod units {
     /// Formats a byte count the way the paper labels its x-axes
     /// (`1K`, `64K`, `1M`, ...).
     pub fn fmt_bytes(bytes: u64) -> String {
-        if bytes >= MIB && bytes % MIB == 0 {
+        if bytes >= MIB && bytes.is_multiple_of(MIB) {
             format!("{}M", bytes / MIB)
-        } else if bytes >= KIB && bytes % KIB == 0 {
+        } else if bytes >= KIB && bytes.is_multiple_of(KIB) {
             format!("{}K", bytes / KIB)
         } else {
             format!("{bytes}")
@@ -382,10 +384,7 @@ mod tests {
     fn saturating_duration_since_clamps() {
         let earlier = SimTime::from_nanos(5);
         let later = SimTime::from_nanos(3);
-        assert_eq!(
-            later.saturating_duration_since(earlier),
-            SimDuration::ZERO
-        );
+        assert_eq!(later.saturating_duration_since(earlier), SimDuration::ZERO);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * [`core`] — the I/OAT cluster model and micro-benchmark suite.
 //! * [`datacenter`] — multi-tier data-center application domain.
 //! * [`pvfs`] — parallel virtual file system application domain.
+//! * [`telemetry`] — sim-time tracing, metrics and Chrome-trace export.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and per-experiment index.
@@ -19,3 +20,4 @@ pub use ioat_memsim as memsim;
 pub use ioat_netsim as netsim;
 pub use ioat_pvfs as pvfs;
 pub use ioat_simcore as simcore;
+pub use ioat_telemetry as telemetry;

@@ -6,7 +6,12 @@
 use ioat_sim::core::microbench::{bandwidth, copybench, multistream};
 use ioat_sim::core::IoatConfig;
 use ioat_sim::datacenter::tiers::{self, DataCenterConfig};
-use ioat_sim::pvfs::harness::{concurrent_read, PvfsConfig};
+use ioat_sim::datacenter::workload::{FileCatalog, ZipfTrace};
+use ioat_sim::pvfs::harness::{concurrent_read, concurrent_read_traced, PvfsConfig};
+use ioat_sim::simcore::SimRng;
+use ioat_sim::telemetry::{Category, Tracer};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 #[test]
 fn bandwidth_runs_are_bit_identical() {
@@ -68,4 +73,54 @@ fn pvfs_runs_are_bit_identical() {
     assert_eq!(a.mbytes_per_sec.to_bits(), b.mbytes_per_sec.to_bits());
     assert_eq!(a.client_cpu.to_bits(), b.client_cpu.to_bits());
     assert_eq!(a.opens, b.opens);
+}
+
+/// Runs the Zipf data-center workload with an externally owned RNG so the
+/// test can compare the generator's final state across runs — tracing must
+/// consume zero random numbers and shift zero events.
+fn zipf_run(tracer: &Tracer) -> (tiers::DataCenterResult, [u64; 4]) {
+    let mut cfg = DataCenterConfig::quick_test(IoatConfig::full());
+    cfg.proxy_cache_bytes = 32 << 20;
+    let rng = Rc::new(RefCell::new(SimRng::seed_from(0x7E1E)));
+    let catalog = FileCatalog::web_content(300, 4 * 1024, &mut rng.borrow_mut());
+    let r2 = Rc::clone(&rng);
+    let result = tiers::run_traced(
+        &cfg,
+        move |_t| Box::new(ZipfTrace::new(catalog.clone(), 0.9, r2.borrow_mut().fork())),
+        tracer,
+    );
+    let state = rng.borrow().state();
+    (result, state)
+}
+
+#[test]
+fn datacenter_tracing_is_bit_for_bit_non_perturbing() {
+    let (off, rng_off) = zipf_run(&Tracer::disabled());
+    let tracer = Tracer::enabled();
+    let (on, rng_on) = zipf_run(&tracer);
+    assert_eq!(off.tps.to_bits(), on.tps.to_bits());
+    assert_eq!(off.completed, on.completed);
+    assert_eq!(off.proxy_cpu.to_bits(), on.proxy_cpu.to_bits());
+    assert_eq!(off.web_cpu.to_bits(), on.web_cpu.to_bits());
+    assert_eq!(off.latency_p50_us.to_bits(), on.latency_p50_us.to_bits());
+    assert_eq!(off.latency_p99_us.to_bits(), on.latency_p99_us.to_bits());
+    assert_eq!(off.cache_hit_rate.to_bits(), on.cache_hit_rate.to_bits());
+    assert_eq!(rng_off, rng_on, "tracing must not consume randomness");
+    // And the trace actually captured the run.
+    assert!(!tracer.is_empty());
+    assert!(tracer.events().iter().any(|e| e.cat == Category::Request));
+}
+
+#[test]
+fn pvfs_tracing_is_bit_for_bit_non_perturbing() {
+    let cfg = PvfsConfig::quick_test(2, 3, IoatConfig::full());
+    let off = concurrent_read(&cfg);
+    let tracer = Tracer::enabled();
+    let on = concurrent_read_traced(&cfg, &tracer);
+    assert_eq!(off.mbytes_per_sec.to_bits(), on.mbytes_per_sec.to_bits());
+    assert_eq!(off.client_cpu.to_bits(), on.client_cpu.to_bits());
+    assert_eq!(off.server_cpu.to_bits(), on.server_cpu.to_bits());
+    assert_eq!(off.opens, on.opens);
+    assert!(tracer.events().iter().any(|e| e.cat == Category::Io));
+    assert!(tracer.events().iter().any(|e| e.cat == Category::Dma));
 }
