@@ -1,0 +1,29 @@
+//! Ablation A3 — fault injection: the loss sweep × I/OAT on/off, timed.
+
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
+use ioat_core::metrics::ExperimentWindow;
+use ioat_core::microbench::bandwidth;
+use ioat_core::IoatConfig;
+use ioat_faults::FaultPlan;
+
+fn main() {
+    group("abl_faults");
+    let mut cfg = bandwidth::BandwidthConfig::quick_test();
+    cfg.ports = 2;
+    cfg.window = ExperimentWindow::quick();
+    for p in [0.0, 1e-5, 1e-4, 1e-3] {
+        let plan = FaultPlan::bernoulli_loss(0xFA017, p);
+        let (c2, p2) = (cfg, plan.clone());
+        bench(
+            &format!("abl_faults_loss{p:.0e}_non"),
+            DEFAULT_ITERS,
+            move || bandwidth::run_with_faults(&c2, IoatConfig::disabled(), &p2),
+        );
+        let (c2, p2) = (cfg, plan);
+        bench(
+            &format!("abl_faults_loss{p:.0e}_ioat"),
+            DEFAULT_ITERS,
+            move || bandwidth::run_with_faults(&c2, IoatConfig::full(), &p2),
+        );
+    }
+}

@@ -3,22 +3,146 @@
 //! Usage:
 //!
 //! ```text
-//! repro [all|fig3a|fig3b|fig4|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|
-//!        fig10a|fig10b|fig11a|fig11b|fig12|abl-mq|abl-copy]
-//!       [--quick] [--trace <path>]
+//! repro [--list] [--quick] [--trace <path>] [target ...]
 //! ```
 //!
-//! `--quick` uses short measurement windows (for smoke tests); the
-//! default windows match `EXPERIMENTS.md`. `--trace <path>` runs the
-//! Fig. 7 configuration with the telemetry tracer on, prints the
-//! per-category CPU split-up and writes a Perfetto-loadable Chrome trace
-//! to `<path>` (and then exits unless figures were also requested).
+//! With no targets (or `all`) every figure runs. `--list` prints the
+//! known targets with one-line descriptions. `--quick` uses short
+//! measurement windows (for smoke tests); the default windows match
+//! `EXPERIMENTS.md`. `--trace <path>` runs the Fig. 7 configuration with
+//! the telemetry tracer on, prints the per-category CPU split-up and
+//! writes a Perfetto-loadable Chrome trace to `<path>` (and then exits
+//! unless figures were also requested). Unknown targets exit with
+//! status 2 and suggest the closest known name.
 
 use ioat_bench as figs;
 use ioat_core::metrics::ExperimentWindow;
 
+/// Every runnable target, with the one-line description `--list` prints.
+const TARGETS: &[(&str, &str)] = &[
+    ("fig3a", "Bandwidth (Mbps) vs 1-6 ports, I/OAT on/off"),
+    ("fig3b", "Bi-directional bandwidth vs 1-6 ports"),
+    ("fig4", "Multi-stream bandwidth vs thread count"),
+    ("fig5a", "Bandwidth under socket-optimization Cases 1-5"),
+    ("fig5b", "Bi-directional bandwidth under Cases 1-5"),
+    ("fig6", "CPU-based copy vs DMA-based copy latency table"),
+    ("fig7", "I/OAT feature split-up across message sizes"),
+    ("fig8a", "Data-center TPS, single-file traces"),
+    ("fig8b", "Data-center TPS, Zipf traces with proxy cache"),
+    ("fig9", "Emulated clients inside the data-center, 16K file"),
+    ("fig10a", "PVFS concurrent read, 6 I/O servers"),
+    ("fig10b", "PVFS concurrent read, 5 I/O servers"),
+    ("fig11a", "PVFS concurrent write, 6 I/O servers"),
+    ("fig11b", "PVFS concurrent write, 5 I/O servers"),
+    ("fig12", "PVFS multi-stream read, 1-64 emulated clients"),
+    ("abl-mq", "Ablation A1: multi-queue receive interrupts"),
+    (
+        "abl-copy",
+        "Ablation A2: async memcpy pinning-cost sensitivity",
+    ),
+    (
+        "abl-faults",
+        "Ablation A3: frame-loss sweep + PVFS daemon crash/failover",
+    ),
+];
+
+fn run_target(name: &str, window: ExperimentWindow) {
+    match name {
+        "fig3a" => {
+            figs::fig3a(window);
+        }
+        "fig3b" => {
+            figs::fig3b(window);
+        }
+        "fig4" => {
+            figs::fig4(window);
+        }
+        "fig5a" => {
+            figs::fig5a(window);
+        }
+        "fig5b" => {
+            figs::fig5b(window);
+        }
+        "fig6" => {
+            figs::fig6();
+        }
+        "fig7" => {
+            figs::fig7(window);
+        }
+        "fig8a" => {
+            figs::fig8a(window);
+        }
+        "fig8b" => {
+            figs::fig8b(window);
+        }
+        "fig9" => {
+            figs::fig9(window);
+        }
+        "fig10a" => {
+            figs::fig10a(window);
+        }
+        "fig10b" => {
+            figs::fig10b(window);
+        }
+        "fig11a" => {
+            figs::fig11a(window);
+        }
+        "fig11b" => {
+            figs::fig11b(window);
+        }
+        "fig12" => {
+            figs::fig12(window);
+        }
+        "abl-mq" => {
+            figs::ablation_multiqueue(window);
+        }
+        "abl-copy" => {
+            figs::ablation_async_memcpy();
+        }
+        "abl-faults" => {
+            figs::ablation_faults(window);
+        }
+        _ => unreachable!("targets are validated before dispatch"),
+    }
+}
+
+/// Classic dynamic-programming edit distance, for "did you mean".
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+fn closest_target(name: &str) -> &'static str {
+    TARGETS
+        .iter()
+        .map(|(t, _)| (*t, edit_distance(name, t)))
+        .min_by_key(|(_, d)| *d)
+        .map(|(t, _)| t)
+        .expect("TARGETS is non-empty")
+}
+
+fn print_list() {
+    println!("repro targets ('all' or no target runs everything):");
+    for (name, desc) in TARGETS {
+        println!("  {name:<12} {desc}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        print_list();
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let window = if quick {
         ExperimentWindow::quick()
@@ -47,6 +171,19 @@ fn main() {
         })
         .map(String::as_str)
         .collect();
+
+    // Validate every requested target before running anything.
+    for name in &which {
+        if *name != "all" && !TARGETS.iter().any(|(t, _)| t == name) {
+            eprintln!(
+                "error: unknown target '{name}' — did you mean '{}'?",
+                closest_target(name)
+            );
+            eprintln!("use --list to see all targets");
+            std::process::exit(2);
+        }
+    }
+
     if let Some(path) = trace_path {
         figs::trace_fig7(window, std::path::Path::new(&path));
         if which.is_empty() {
@@ -54,57 +191,9 @@ fn main() {
         }
     }
     let all = which.is_empty() || which.contains(&"all");
-    let want = |name: &str| all || which.contains(&name);
-
-    if want("fig3a") {
-        figs::fig3a(window);
-    }
-    if want("fig3b") {
-        figs::fig3b(window);
-    }
-    if want("fig4") {
-        figs::fig4(window);
-    }
-    if want("fig5a") {
-        figs::fig5a(window);
-    }
-    if want("fig5b") {
-        figs::fig5b(window);
-    }
-    if want("fig6") {
-        figs::fig6();
-    }
-    if want("fig7") {
-        figs::fig7(window);
-    }
-    if want("fig8a") {
-        figs::fig8a(window);
-    }
-    if want("fig8b") {
-        figs::fig8b(window);
-    }
-    if want("fig9") {
-        figs::fig9(window);
-    }
-    if want("fig10a") {
-        figs::fig10a(window);
-    }
-    if want("fig10b") {
-        figs::fig10b(window);
-    }
-    if want("fig11a") {
-        figs::fig11a(window);
-    }
-    if want("fig11b") {
-        figs::fig11b(window);
-    }
-    if want("fig12") {
-        figs::fig12(window);
-    }
-    if want("abl-mq") {
-        figs::ablation_multiqueue(window);
-    }
-    if want("abl-copy") {
-        figs::ablation_async_memcpy();
+    for (name, _) in TARGETS {
+        if all || which.contains(name) {
+            run_target(name, window);
+        }
     }
 }

@@ -326,7 +326,7 @@ fn pvfs_fig(title: &str, io_servers: usize, write: bool, window: ExperimentWindo
         .map(|clients| {
             let mut non_cfg = PvfsConfig::paper(io_servers, clients, IoatConfig::disabled());
             non_cfg.window = window;
-            let mut ioat_cfg = non_cfg;
+            let mut ioat_cfg = non_cfg.clone();
             ioat_cfg.ioat = IoatConfig::full();
             let (non, ioat) = if write {
                 (concurrent_write(&non_cfg), concurrent_write(&ioat_cfg))
@@ -400,7 +400,7 @@ pub fn fig12(window: ExperimentWindow) -> Vec<Row> {
         .map(|threads| {
             let mut non_cfg = PvfsConfig::paper(6, 1, IoatConfig::disabled());
             non_cfg.window = window;
-            let mut ioat_cfg = non_cfg;
+            let mut ioat_cfg = non_cfg.clone();
             ioat_cfg.ioat = IoatConfig::full();
             let non = multi_stream_read(&non_cfg, threads);
             let ioat = multi_stream_read(&ioat_cfg, threads);
@@ -476,6 +476,82 @@ pub fn ablation_async_memcpy() -> Vec<copybench::CopyRow> {
         out.push(copybench::row(size));
     }
     out
+}
+
+/// Ablation A3 — deterministic fault injection (`ioat-faults`).
+///
+/// Part 1 sweeps independent frame loss over {0, 1e-5, 1e-4, 1e-3} at
+/// 2 ports for non-I/OAT and full I/OAT: throughput degrades as loss
+/// grows (retransmissions burn wire time and stall the window), while
+/// the I/OAT receive-side CPU advantage persists because retransmitted
+/// bytes are re-charged through the same receive cost model. Part 2
+/// crashes one of two PVFS I/O daemons for a third of the run and shows
+/// the client deadline/failover machinery keeping data flowing.
+pub fn ablation_faults(window: ExperimentWindow) -> Vec<Row> {
+    use ioat_faults::{CrashWindow, FaultPlan, TimeWindow};
+    use ioat_simcore::{SimDuration, SimTime};
+
+    let mut rows = Vec::new();
+    println!("\n=== Ablation A3a: frame loss vs throughput/CPU (2 ports) ===");
+    println!(
+        "{:<10} {:>10} {:>10} {:>9} {:>9} | {:>8} {:>8} {:>8}",
+        "loss", "non[Mbps]", "ioat[Mbps]", "non-cpu%", "ioat-cpu%", "drops", "retx", "rto"
+    );
+    for p in [0.0, 1e-5, 1e-4, 1e-3] {
+        let mut cfg = bandwidth::BandwidthConfig::paper(2);
+        cfg.window = window;
+        let plan = FaultPlan::bernoulli_loss(0xFA017, p);
+        let non = bandwidth::run_with_faults(&cfg, IoatConfig::disabled(), &plan);
+        let ioat = bandwidth::run_with_faults(&cfg, IoatConfig::full(), &plan);
+        println!(
+            "{:<10} {:>10.0} {:>10.0} {:>9.1} {:>9.1} | {:>8} {:>8} {:>8}",
+            format!("{p:.0e}"),
+            non.throughput.mbps,
+            ioat.throughput.mbps,
+            non.throughput.rx_cpu * 100.0,
+            ioat.throughput.rx_cpu * 100.0,
+            non.frames_dropped + ioat.frames_dropped,
+            non.retransmits + ioat.retransmits,
+            non.rto_timeouts + ioat.rto_timeouts,
+        );
+        rows.push(Row {
+            label: format!("loss={p:.0e}"),
+            non_ioat: non.throughput.mbps,
+            ioat: ioat.throughput.mbps,
+            non_cpu: non.throughput.rx_cpu,
+            ioat_cpu: ioat.throughput.rx_cpu,
+        });
+    }
+
+    println!("\n=== Ablation A3b: PVFS I/O-daemon crash + failover (2 servers) ===");
+    let to = window.to();
+    let mut crashed = PvfsConfig::quick_test(2, 2, IoatConfig::disabled());
+    crashed.window = window;
+    crashed.faults.crashes.push(CrashWindow {
+        service: 0,
+        window: TimeWindow::new(
+            SimTime::from_nanos(to.as_nanos() / 10),
+            SimTime::from_nanos(to.as_nanos() * 2 / 5),
+        ),
+    });
+    crashed.retry.timeout = SimDuration::from_nanos((to.as_nanos() / 30).max(1_000_000));
+    let mut clean = PvfsConfig::quick_test(2, 2, IoatConfig::disabled());
+    clean.window = window;
+    let c = concurrent_read(&clean);
+    let f = concurrent_read(&crashed);
+    println!(
+        "clean   {:>8.0} MB/s\ncrashed {:>8.0} MB/s  (drops {}, timeouts {}, retries {}, \
+         failovers {}, stale {}, failed {})",
+        c.mbytes_per_sec,
+        f.mbytes_per_sec,
+        f.daemon_drops,
+        f.timeouts,
+        f.retries,
+        f.failovers,
+        f.stale_replies,
+        f.failed_ops
+    );
+    rows
 }
 
 /// Runs the Fig. 7 configuration with tracing on, prints the per-category
@@ -564,6 +640,25 @@ mod tests {
         let t = fig6();
         assert_eq!(t.len(), 7);
         assert!(t.iter().all(|r| r.copy_nocache_us > r.copy_cache_us));
+    }
+
+    #[test]
+    fn abl_faults_degrades_monotonically_and_keeps_cpu_advantage() {
+        let rows = ablation_faults(ExperimentWindow::quick());
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.ioat_cpu < r.non_cpu,
+                "I/OAT CPU advantage must persist at {}: {:.3} vs {:.3}",
+                r.label,
+                r.ioat_cpu,
+                r.non_cpu
+            );
+        }
+        assert!(
+            rows[3].non_ioat < rows[0].non_ioat && rows[3].ioat < rows[0].ioat,
+            "1e-3 loss must cost throughput on both configurations"
+        );
     }
 
     #[test]

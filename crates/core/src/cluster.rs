@@ -5,6 +5,7 @@
 //! the hood — this module only adds the testbed-shaped conveniences.
 
 use crate::calibration;
+use ioat_faults::{FaultInjector, FaultPlan};
 use ioat_netsim::stack::{self, HostStack, StackRef};
 use ioat_netsim::{ConnId, IoatConfig, Socket, SocketOpts, StackParams};
 use ioat_simcore::time::Bandwidth;
@@ -69,6 +70,7 @@ pub struct Cluster {
     bandwidth: Bandwidth,
     latency: SimDuration,
     tracer: Tracer,
+    faults: FaultPlan,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -96,7 +98,25 @@ impl Cluster {
             bandwidth: calibration::port_bandwidth(),
             latency: calibration::switch_latency(),
             tracer: Tracer::disabled(),
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Installs a fault plan: every node already added (and every node
+    /// added afterwards) gets a [`FaultInjector`] for it, keyed by the
+    /// node's index. Installing [`FaultPlan::none()`] (the default) keeps
+    /// every hook inert and runs bit-identical to a fault-free build.
+    pub fn set_faults(&mut self, plan: &FaultPlan) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            node.borrow_mut()
+                .set_fault_injector(FaultInjector::new(plan, i as u32));
+        }
+        self.faults = plan.clone();
+    }
+
+    /// The installed fault plan (inert by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Attaches a tracer to the cluster: every node already added (and
@@ -138,11 +158,22 @@ impl Cluster {
             reg.add(&format!("{name}.acks"), s.acks);
             reg.add(&format!("{name}.stalled_frames"), s.stalled_frames);
             reg.set_gauge(&format!("{name}.peak_backlog_bytes"), s.peak_backlog as f64);
+            reg.add(&format!("{name}.frames_dropped"), s.frames_dropped);
+            reg.add(&format!("{name}.rx_ring_drops"), s.rx_ring_drops);
+            reg.add(&format!("{name}.ooo_frames"), s.ooo_frames);
+            reg.add(&format!("{name}.retransmits"), s.retransmits);
+            reg.add(
+                &format!("{name}.retransmitted_bytes"),
+                s.retransmitted_bytes,
+            );
+            reg.add(&format!("{name}.rto_timeouts"), s.rto_timeouts);
+            reg.add(&format!("{name}.dma_fallbacks"), s.dma_fallbacks);
             if let Some(dma) = st.dma() {
                 let d = dma.borrow().stats();
                 reg.add(&format!("{name}.dma.requests"), d.requests);
                 reg.add(&format!("{name}.dma.bytes"), d.bytes);
                 reg.add(&format!("{name}.dma.pages_pinned"), d.pages_pinned);
+                reg.add(&format!("{name}.dma.cpu_fallbacks"), d.cpu_fallbacks);
             }
         }
         reg
@@ -181,6 +212,11 @@ impl Cluster {
             stack
                 .borrow_mut()
                 .set_tracer(self.tracer.clone(), h.0 as u32);
+        }
+        if self.faults.is_active() {
+            stack
+                .borrow_mut()
+                .set_fault_injector(FaultInjector::new(&self.faults, h.0 as u32));
         }
         self.names.insert(cfg.name, h);
         self.nodes.push(stack);

@@ -8,6 +8,7 @@ use crate::calibration;
 use crate::cluster::{Cluster, NodeConfig};
 use crate::metrics::{Comparison, ExperimentWindow, ThroughputResult};
 use crate::microbench::stream;
+use ioat_faults::FaultPlan;
 use ioat_netsim::{IoatConfig, SocketOpts};
 
 /// Configuration of a bandwidth run.
@@ -46,9 +47,41 @@ impl BandwidthConfig {
     }
 }
 
+/// A [`ThroughputResult`] plus the fault/recovery activity of the run,
+/// summed over both endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultedThroughputResult {
+    /// Throughput and CPU utilization, as in the fault-free test.
+    pub throughput: ThroughputResult,
+    /// Frames dropped at egress by the loss model.
+    pub frames_dropped: u64,
+    /// Retransmission rounds (fast retransmit + RTO).
+    pub retransmits: u64,
+    /// Bytes rewound for retransmission.
+    pub retransmitted_bytes: u64,
+    /// Retransmission-timer expiries.
+    pub rto_timeouts: u64,
+    /// Deliveries forced off the DMA engine onto the CPU.
+    pub dma_fallbacks: u64,
+}
+
 /// Runs the bandwidth test with the given feature set on both nodes.
 pub fn run(cfg: &BandwidthConfig, ioat: IoatConfig) -> ThroughputResult {
+    run_with_faults(cfg, ioat, &FaultPlan::none()).throughput
+}
+
+/// The bandwidth test under a fault plan. With [`FaultPlan::none()`]
+/// this is exactly [`run`] (bit-identical; `run` is defined in terms of
+/// it); with loss configured the recovery counters report how hard the
+/// stack worked to keep the stream flowing.
+pub fn run_with_faults(
+    cfg: &BandwidthConfig,
+    ioat: IoatConfig,
+    faults: &FaultPlan,
+) -> FaultedThroughputResult {
     let mut cluster = Cluster::new(0xB0);
+    cluster.set_faults(faults);
     let tx = cluster.add_node(NodeConfig::testbed("sender", ioat));
     let rx = cluster.add_node(NodeConfig::testbed("receiver", ioat));
     let pairs = cluster.connect_ports(tx, rx, cfg.ports, cfg.opts.coalescing);
@@ -62,10 +95,18 @@ pub fn run(cfg: &BandwidthConfig, ioat: IoatConfig) -> ThroughputResult {
     let (from, to) = cfg.window.execute(&mut cluster, &[tx, rx]);
     let rxs = cluster.stack(rx).borrow();
     let txs = cluster.stack(tx).borrow();
-    ThroughputResult {
-        mbps: rxs.rx_meter().mbps(to),
-        rx_cpu: rxs.cpu_utilization(from, to),
-        tx_cpu: txs.cpu_utilization(from, to),
+    let (st, sr) = (txs.stats(), rxs.stats());
+    FaultedThroughputResult {
+        throughput: ThroughputResult {
+            mbps: rxs.rx_meter().mbps(to),
+            rx_cpu: rxs.cpu_utilization(from, to),
+            tx_cpu: txs.cpu_utilization(from, to),
+        },
+        frames_dropped: st.frames_dropped + sr.frames_dropped,
+        retransmits: st.retransmits + sr.retransmits,
+        retransmitted_bytes: st.retransmitted_bytes + sr.retransmitted_bytes,
+        rto_timeouts: st.rto_timeouts + sr.rto_timeouts,
+        dma_fallbacks: st.dma_fallbacks + sr.dma_fallbacks,
     }
 }
 
@@ -126,5 +167,33 @@ mod tests {
     #[should_panic(expected = "1..=6 ports")]
     fn port_count_is_validated() {
         BandwidthConfig::paper(7);
+    }
+
+    #[test]
+    fn loss_degrades_throughput_but_keeps_ioat_cpu_advantage() {
+        let cfg = BandwidthConfig::quick_test();
+        let clean = run_with_faults(&cfg, IoatConfig::disabled(), &FaultPlan::none());
+        let lossy = run_with_faults(
+            &cfg,
+            IoatConfig::disabled(),
+            &FaultPlan::bernoulli_loss(1, 1e-3),
+        );
+        assert!(lossy.frames_dropped > 0);
+        assert!(lossy.retransmits > 0);
+        assert!(
+            lossy.throughput.mbps < clean.throughput.mbps,
+            "loss must cost throughput: {:.0} vs {:.0}",
+            lossy.throughput.mbps,
+            clean.throughput.mbps
+        );
+        let lossy_ioat = run_with_faults(
+            &cfg,
+            IoatConfig::full(),
+            &FaultPlan::bernoulli_loss(1, 1e-3),
+        );
+        assert!(
+            lossy_ioat.throughput.rx_cpu < lossy.throughput.rx_cpu,
+            "I/OAT CPU advantage must persist under loss"
+        );
     }
 }

@@ -19,10 +19,15 @@ use crate::workload::{Request, Trace};
 use ioat_core::cluster::{Cluster, NodeConfig};
 use ioat_core::metrics::ExperimentWindow;
 use ioat_core::{IoatConfig, SocketOpts};
-use ioat_simcore::{Counter, Histogram, SimDuration, SimTime};
+use ioat_faults::{FaultInjector, FaultPlan, RetryPolicy, WEB_SERVICE};
+use ioat_simcore::{Counter, Histogram, Sim, SimDuration, SimTime};
 use ioat_telemetry::{Category, Tracer, TrackId};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Late-bound sender for id-tagged client requests: the client response
+/// handler is created before the request channel exists.
+type ReqSender = Rc<RefCell<Option<MsgSender<(u64, Request)>>>>;
 
 /// Pseudo node id for per-thread request-lifecycle lanes in exported
 /// traces (real nodes are 0 = clients, 1 = proxy, 2 = web).
@@ -47,6 +52,13 @@ pub struct DataCenterConfig {
     pub window: ExperimentWindow,
     /// Workload seed.
     pub seed: u64,
+    /// Fault plan (loss, crash windows). [`FaultPlan::none()`] keeps the
+    /// run bit-identical to a fault-free build: no request deadlines are
+    /// scheduled at all.
+    pub faults: FaultPlan,
+    /// Per-request deadline/retry policy, consulted only when `faults`
+    /// is active.
+    pub retry: RetryPolicy,
 }
 
 impl DataCenterConfig {
@@ -61,6 +73,8 @@ impl DataCenterConfig {
             proxy_cache_bytes: 0,
             window: ExperimentWindow::standard(),
             seed: 0xDC,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -75,6 +89,8 @@ impl DataCenterConfig {
             proxy_cache_bytes: 0,
             window: ExperimentWindow::quick(),
             seed: 0xDC,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -99,12 +115,27 @@ pub struct DataCenterResult {
     pub latency_p99_us: f64,
     /// Transactions completed inside the window.
     pub completed: u64,
+    /// Request deadlines that expired (whole run).
+    pub timeouts: u64,
+    /// Retransmitted requests after a timeout (whole run).
+    pub retries: u64,
+    /// Transactions abandoned after exhausting retries (whole run).
+    pub failed: u64,
+    /// Responses that arrived after their request had been retried or
+    /// abandoned, and were discarded (whole run).
+    pub stale_responses: u64,
+    /// Requests silently dropped by a crashed web daemon (whole run).
+    pub daemon_drops: u64,
 }
 
 struct Shared {
     completed: Counter,
     latency: Histogram,
     window_from: SimTime,
+    timeouts: u64,
+    retries: u64,
+    failed: u64,
+    stale_responses: u64,
 }
 
 /// Runs the two-tier testbed with per-thread traces built by
@@ -128,6 +159,7 @@ where
     assert!(cfg.client_ports > 0 && cfg.tier_ports > 0);
     let mut cluster = Cluster::new(cfg.seed);
     cluster.set_tracer(tracer.clone());
+    cluster.set_faults(&cfg.faults);
     if tracer.is_enabled() {
         tracer.set_process_name(REQUEST_LANES_NODE, "request-lanes");
     }
@@ -154,10 +186,20 @@ where
         completed,
         latency: Histogram::new(),
         window_from: cfg.window.from(),
+        timeouts: 0,
+        retries: 0,
+        failed: 0,
+        stale_responses: 0,
     }));
     let cache = Rc::new(RefCell::new(LruCache::new(cfg.proxy_cache_bytes.max(1))));
     let caching_enabled = cfg.proxy_cache_bytes > 0;
     let costs = cfg.costs;
+    // App-level crash view of the web daemon (node 2). Link-level faults
+    // were installed into the stacks by `set_faults` above; this injector
+    // only answers `service_down` queries and counts dropped requests.
+    let web_faults = FaultInjector::new(&cfg.faults, 2);
+    let faults_active = cfg.faults.is_active();
+    let retry = cfg.retry;
 
     for t in 0..cfg.client_threads {
         let cp = client_pairs[t % client_pairs.len()];
@@ -167,17 +209,109 @@ where
         let (p_web_sock, w_sock) = cluster.open(proxy, web, pw, opts);
 
         let trace: Rc<RefCell<Box<dyn Trace>>> = Rc::new(RefCell::new(make_trace(t)));
-        // Late-bound request sender: the client response handler is
-        // created before the request channel exists.
-        let req_sender: Rc<RefCell<Option<MsgSender<Request>>>> = Rc::new(RefCell::new(None));
+        // Requests carry a per-thread attempt id so late responses to a
+        // request that was already retried (or abandoned) can be
+        // recognized and dropped.
+        let req_sender: ReqSender = Rc::new(RefCell::new(None));
         let started_at = Rc::new(RefCell::new(SimTime::ZERO));
+        let next_id: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+        let waiting: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
+        let attempt: Rc<RefCell<u32>> = Rc::new(RefCell::new(0));
+        let current_req: Rc<RefCell<Option<Request>>> = Rc::new(RefCell::new(None));
+        // Self-referential "fire the current request" closure: the retry
+        // timer it schedules must be able to call it again.
+        #[allow(clippy::type_complexity)]
+        let fire_slot: Rc<RefCell<Option<Rc<dyn Fn(&mut Sim)>>>> = Rc::new(RefCell::new(None));
+
+        let fire: Rc<dyn Fn(&mut Sim)> = {
+            let rs = Rc::clone(&req_sender);
+            let cur = Rc::clone(&current_req);
+            let waiting = Rc::clone(&waiting);
+            let next_id = Rc::clone(&next_id);
+            let attempt = Rc::clone(&attempt);
+            let fire_slot = Rc::clone(&fire_slot);
+            let sh = Rc::clone(&shared);
+            let sa = Rc::clone(&started_at);
+            let tr = Rc::clone(&trace);
+            let client_sock = c_sock.clone();
+            Rc::new(move |sim: &mut Sim| {
+                let req = match *cur.borrow() {
+                    Some(r) => r,
+                    None => return,
+                };
+                let id = {
+                    let mut n = next_id.borrow_mut();
+                    *n += 1;
+                    *n
+                };
+                *waiting.borrow_mut() = Some(id);
+                if let Some(sender) = rs.borrow().as_ref() {
+                    sender.send(sim, REQUEST_WIRE_BYTES, (id, req));
+                }
+                // Deadlines exist only when faults are configured: the
+                // inert plan schedules no events and stays bit-identical.
+                if faults_active {
+                    let deadline = retry.deadline(*attempt.borrow());
+                    let waiting2 = Rc::clone(&waiting);
+                    let attempt2 = Rc::clone(&attempt);
+                    let fire_slot2 = Rc::clone(&fire_slot);
+                    let sh2 = Rc::clone(&sh);
+                    let cur2 = Rc::clone(&cur);
+                    let sa2 = Rc::clone(&sa);
+                    let tr2 = Rc::clone(&tr);
+                    let cs2 = client_sock.clone();
+                    sim.schedule(deadline, move |sim| {
+                        if *waiting2.borrow() != Some(id) {
+                            return; // answered (or superseded) in time
+                        }
+                        let retry_now = *attempt2.borrow() < retry.max_retries;
+                        {
+                            let mut s = sh2.borrow_mut();
+                            s.timeouts += 1;
+                            if retry_now {
+                                s.retries += 1;
+                            } else {
+                                s.failed += 1;
+                            }
+                        }
+                        if retry_now {
+                            *attempt2.borrow_mut() += 1;
+                            let f = fire_slot2.borrow().clone();
+                            if let Some(f) = f {
+                                f(sim);
+                            }
+                        } else {
+                            // Abandon the transaction and move on.
+                            *waiting2.borrow_mut() = None;
+                            *attempt2.borrow_mut() = 0;
+                            let next = tr2.borrow_mut().next_request();
+                            let cur3 = Rc::clone(&cur2);
+                            let sa3 = Rc::clone(&sa2);
+                            let fs3 = Rc::clone(&fire_slot2);
+                            cs2.compute(sim, costs.client_process, move |sim| {
+                                *sa3.borrow_mut() = sim.now();
+                                *cur3.borrow_mut() = Some(next);
+                                let f = fs3.borrow().clone();
+                                if let Some(f) = f {
+                                    f(sim);
+                                }
+                            });
+                        }
+                    });
+                }
+            })
+        };
+        *fire_slot.borrow_mut() = Some(Rc::clone(&fire));
 
         // (1) Responses proxy → client: complete the transaction, process,
         // fire the next request.
         let sh = Rc::clone(&shared);
-        let rs = Rc::clone(&req_sender);
         let sa = Rc::clone(&started_at);
         let tr = Rc::clone(&trace);
+        let wt = Rc::clone(&waiting);
+        let at = Rc::clone(&attempt);
+        let cur = Rc::clone(&current_req);
+        let fs = Rc::clone(&fire_slot);
         let client_sock2 = c_sock.clone();
         let lane = TrackId::new(REQUEST_LANES_NODE, t as u32);
         tracer.set_track_name(lane, &format!("thread{t}"));
@@ -185,7 +319,14 @@ where
         let respond_to_client = msg::channel(
             p_client_sock.clone(),
             c_sock.clone(),
-            move |sim, _meta: ()| {
+            move |sim, id: u64| {
+                if *wt.borrow() != Some(id) {
+                    // A retried or abandoned request's original answer.
+                    sh.borrow_mut().stale_responses += 1;
+                    return;
+                }
+                *wt.borrow_mut() = None;
+                *at.borrow_mut() = 0;
                 trc.span("request", Category::Request, lane, *sa.borrow(), sim.now());
                 {
                     let mut s = sh.borrow_mut();
@@ -195,13 +336,16 @@ where
                     }
                     s.completed.add_at(sim.now(), 1);
                 }
-                let rs2 = Rc::clone(&rs);
                 let sa2 = Rc::clone(&sa);
+                let cur2 = Rc::clone(&cur);
+                let fs2 = Rc::clone(&fs);
                 let next = tr.borrow_mut().next_request();
                 client_sock2.compute(sim, costs.client_process, move |sim| {
                     *sa2.borrow_mut() = sim.now();
-                    if let Some(sender) = rs2.borrow().as_ref() {
-                        sender.send(sim, REQUEST_WIRE_BYTES, next);
+                    *cur2.borrow_mut() = Some(next);
+                    let f = fs2.borrow().clone();
+                    if let Some(f) = f {
+                        f(sim);
                     }
                 });
             },
@@ -215,28 +359,35 @@ where
         let web_to_proxy = msg::channel(
             w_sock.clone(),
             p_web_sock.clone(),
-            move |sim, req: Request| {
+            move |sim, (id, req): (u64, Request)| {
                 if caching_enabled {
                     ch.borrow_mut().insert(req.file_id, req.size);
                 }
                 let rc2 = Rc::clone(&rc);
                 p_web_sock2.compute(sim, costs.proxy_relay, move |sim| {
-                    rc2.send(sim, req.size, ());
+                    rc2.send(sim, req.size, id);
                 });
             },
         );
         let web_to_proxy = Rc::new(web_to_proxy);
 
-        // (3) Requests proxy → web: serve the document.
+        // (3) Requests proxy → web: serve the document. A crashed web
+        // daemon drops the request on the floor — the bytes were already
+        // delivered (framing stays intact), only the handler goes dark.
         let wtp = Rc::clone(&web_to_proxy);
         let w_sock2 = w_sock.clone();
+        let wf = web_faults.clone();
         let proxy_to_web = msg::channel(
             p_web_sock.clone(),
             w_sock.clone(),
-            move |sim, req: Request| {
+            move |sim, (id, req): (u64, Request)| {
+                if wf.service_down(WEB_SERVICE, sim.now()) {
+                    wf.note_daemon_drop();
+                    return;
+                }
                 let wtp2 = Rc::clone(&wtp);
                 w_sock2.compute(sim, costs.web_serve(req.size), move |sim| {
-                    wtp2.send(sim, req.size, req);
+                    wtp2.send(sim, req.size, (id, req));
                 });
             },
         );
@@ -247,8 +398,10 @@ where
         let ptw = Rc::clone(&proxy_to_web);
         let ch = Rc::clone(&cache);
         let p_client_sock2 = p_client_sock.clone();
-        let client_to_proxy =
-            msg::channel(c_sock.clone(), p_client_sock, move |sim, req: Request| {
+        let client_to_proxy = msg::channel(
+            c_sock.clone(),
+            p_client_sock,
+            move |sim, (id, req): (u64, Request)| {
                 let parse = costs.proxy_parse + costs.proxy_cache_lookup;
                 let hit = caching_enabled && ch.borrow_mut().lookup(req.file_id);
                 let rc2 = Rc::clone(&rc);
@@ -260,26 +413,26 @@ where
                 };
                 p_client_sock2.compute(sim, parse + extra, move |sim| {
                     if hit {
-                        rc2.send(sim, req.size, ());
+                        rc2.send(sim, req.size, id);
                     } else {
-                        ptw2.send(sim, REQUEST_WIRE_BYTES, req);
+                        ptw2.send(sim, REQUEST_WIRE_BYTES, (id, req));
                     }
                 });
-            });
+            },
+        );
         *req_sender.borrow_mut() = Some(client_to_proxy);
 
         // Kick off the loop with a small stagger.
-        let rs = Rc::clone(&req_sender);
         let sa = Rc::clone(&started_at);
         let tr = Rc::clone(&trace);
+        let cur = Rc::clone(&current_req);
         cluster
             .sim_mut()
             .schedule(SimDuration::from_micros(5 * t as u64), move |sim| {
                 *sa.borrow_mut() = sim.now();
                 let first = tr.borrow_mut().next_request();
-                if let Some(sender) = rs.borrow().as_ref() {
-                    sender.send(sim, REQUEST_WIRE_BYTES, first);
-                }
+                *cur.borrow_mut() = Some(first);
+                fire(sim);
             });
     }
 
@@ -299,6 +452,11 @@ where
             latency_p50_us: shared.latency.quantile(0.5) as f64 / 1e3,
             latency_p99_us: shared.latency.quantile(0.99) as f64 / 1e3,
             completed: shared.completed.window_total(),
+            timeouts: shared.timeouts,
+            retries: shared.retries,
+            failed: shared.failed,
+            stale_responses: shared.stale_responses,
+            daemon_drops: web_faults.daemon_drops(),
         }
     };
     result
@@ -403,6 +561,62 @@ mod tests {
         // With hits served at the proxy, the web tier sees less work than
         // the proxy.
         assert!(r.web_cpu < r.proxy_cpu + 0.5);
+    }
+
+    #[test]
+    fn inert_fault_plan_schedules_no_recovery_machinery() {
+        let cfg = DataCenterConfig::quick_test(IoatConfig::disabled());
+        let r = run_single_file(&cfg, 4 * 1024);
+        assert_eq!(r.timeouts, 0);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.failed, 0);
+        assert_eq!(r.stale_responses, 0);
+        assert_eq!(r.daemon_drops, 0);
+    }
+
+    fn crash_cfg() -> DataCenterConfig {
+        let mut cfg = DataCenterConfig::quick_test(IoatConfig::disabled());
+        // Web daemon dark from 2 ms to 8 ms; deadlines short enough that
+        // retries resolve well inside the 30 ms quick run.
+        cfg.faults.crashes.push(ioat_faults::CrashWindow {
+            service: WEB_SERVICE,
+            window: ioat_faults::TimeWindow::new(
+                SimTime::from_nanos(2_000_000),
+                SimTime::from_nanos(8_000_000),
+            ),
+        });
+        cfg.retry.timeout = SimDuration::from_millis(2);
+        cfg
+    }
+
+    #[test]
+    fn web_crash_window_triggers_timeouts_and_recovers() {
+        let cfg = crash_cfg();
+        let r = run_single_file(&cfg, 4 * 1024);
+        assert!(r.daemon_drops > 0, "crash window must drop requests");
+        assert!(r.timeouts > 0, "dropped requests must hit their deadline");
+        assert!(r.retries > 0, "deadlines must trigger retries");
+        assert!(
+            r.completed > 0 && r.tps > 0.0,
+            "the system must keep completing transactions after restart"
+        );
+        let clean = run_single_file(
+            &DataCenterConfig::quick_test(IoatConfig::disabled()),
+            4 * 1024,
+        );
+        assert!(
+            r.completed < clean.completed,
+            "a 6 ms outage must cost throughput: {} vs {}",
+            r.completed,
+            clean.completed
+        );
+    }
+
+    #[test]
+    fn crash_runs_are_reproducible() {
+        let a = run_single_file(&crash_cfg(), 4 * 1024);
+        let b = run_single_file(&crash_cfg(), 4 * 1024);
+        assert_eq!(a, b);
     }
 
     #[test]

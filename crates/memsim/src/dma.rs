@@ -109,6 +109,9 @@ pub struct DmaStats {
     pub bytes: u64,
     /// Pages pinned across all requests.
     pub pages_pinned: u64,
+    /// Copies the stack wanted to offload but ran on the CPU instead
+    /// because the channel was unavailable (fault-injected down window).
+    pub cpu_fallbacks: u64,
 }
 
 /// The copy engine: one serialized channel plus cost bookkeeping.
@@ -175,6 +178,13 @@ impl DmaEngine {
     /// Statistics so far.
     pub fn stats(&self) -> DmaStats {
         self.stats
+    }
+
+    /// Records a copy that fell back to the CPU because the channel was
+    /// down. Pure bookkeeping — no cost is charged here; the caller runs
+    /// the copy through its CPU path.
+    pub fn note_fallback(&mut self) {
+        self.stats.cpu_fallbacks += 1;
     }
 
     /// The engine channel's busy-time accounting (for utilization plots).

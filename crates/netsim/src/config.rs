@@ -251,6 +251,12 @@ pub struct StackParams {
     pub coalesce_max_frames: u32,
     /// Max time the NIC delays an interrupt while coalescing.
     pub coalesce_delay: SimDuration,
+    /// Initial retransmission timeout. Only consulted when a fault plan
+    /// injects loss; LAN-tuned so recovery fits the measurement windows
+    /// (a real kernel's 200 ms floor would dwarf the 150 ms experiment).
+    pub rto_initial: SimDuration,
+    /// Upper bound on the exponentially backed-off RTO.
+    pub rto_max: SimDuration,
 }
 
 impl Default for StackParams {
@@ -284,6 +290,8 @@ impl Default for StackParams {
             ack_cost: SimDuration::from_nanos(350),
             coalesce_max_frames: 8,
             coalesce_delay: SimDuration::from_micros(40),
+            rto_initial: SimDuration::from_millis(3),
+            rto_max: SimDuration::from_millis(50),
         }
     }
 }

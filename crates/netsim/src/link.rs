@@ -139,6 +139,47 @@ mod tests {
     }
 
     #[test]
+    fn transmit_returns_the_delivery_instant() {
+        let mut sim = Sim::new();
+        let link = Link::new("p", Bandwidth::from_gbps(1), SimDuration::from_micros(25));
+        let observed = Rc::new(RefCell::new(Vec::new()));
+        let mut predicted = Vec::new();
+        for bytes in [64u64, 1_500, 9_000] {
+            let o = Rc::clone(&observed);
+            predicted.push(
+                link.transmit(&mut sim, bytes, move |sim| o.borrow_mut().push(sim.now()))
+                    .as_nanos(),
+            );
+        }
+        sim.run();
+        let observed: Vec<u64> = observed.borrow().iter().map(|t| t.as_nanos()).collect();
+        assert_eq!(predicted, observed);
+    }
+
+    #[test]
+    fn idle_gap_restarts_serialization_immediately() {
+        let mut sim = Sim::new();
+        let link = Link::new("g", Bandwidth::from_gbps(1), SimDuration::from_micros(10));
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let t1 = Rc::clone(&times);
+        link.transmit(&mut sim, 1_500, move |sim| {
+            t1.borrow_mut().push(sim.now().as_nanos());
+        });
+        // Submit the second frame 50 us later, long after the wire idles:
+        // it must serialize from its submission time, not queue-extend.
+        let l2 = link.clone();
+        let t2 = Rc::clone(&times);
+        sim.schedule(SimDuration::from_micros(50), move |sim| {
+            l2.transmit(sim, 1_500, move |sim| {
+                t2.borrow_mut().push(sim.now().as_nanos());
+            });
+        });
+        sim.run();
+        // 12 us serialization + 10 us latency; second starts at 50 us.
+        assert_eq!(*times.borrow(), vec![22_000, 72_000]);
+    }
+
+    #[test]
     fn sustained_rate_matches_line_rate() {
         let mut sim = Sim::new();
         let link = Link::new("r", Bandwidth::from_gbps(1), SimDuration::from_micros(5));

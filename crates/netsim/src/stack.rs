@@ -21,12 +21,26 @@
 //!   ACK frames travel at link latency but are not serialized on the
 //!   reverse link — a documented simplification (≈ 3 % of reverse
 //!   bandwidth at full rate).
+//! * **Faults** (off by default): a `FaultInjector` attached via
+//!   [`HostStack::set_fault_injector`] can drop frames at egress (the
+//!   dropped frame still occupies the wire; the receiver just never sees
+//!   it), overflow a bounded rx ring before the interrupt fires, or take
+//!   the DMA engine down so deliveries fall back to the CPU copy. The
+//!   receiver then sees gaps — it discards out-of-order frames and emits
+//!   duplicate ACKs (go-back-N) — and the sender recovers by fast
+//!   retransmit or RTO, re-charging retransmitted bytes through the
+//!   exact same receive-path cost model. With the default inert injector
+//!   none of this code draws RNG or schedules timers, so fault-free runs
+//!   stay bit-identical to the pre-fault simulator. ACK loss is not
+//!   modeled: ACKs always arrive, so the window cannot deadlock and the
+//!   RTO only covers lost data frames.
 
 use crate::config::{IoatConfig, SocketOpts, StackParams};
 use crate::link::Link;
 use crate::nic::{CoalesceAction, Frame, RxCoalescer};
 use crate::socket::SocketEvent;
-use crate::tcp::{ConnId, RecvState, SendState};
+use crate::tcp::{ConnId, FrameClass, RecvState, SendState};
+use ioat_faults::FaultInjector;
 use ioat_memsim::dma::CacheRef;
 use ioat_memsim::{
     AddressAllocator, Buffer, Cache, CacheConfig, CpuCopier, DmaEngine, DmaEngineRef, DmaRequest,
@@ -75,6 +89,20 @@ pub struct StackStats {
     pub stalled_frames: u64,
     /// Peak undelivered backlog observed (bytes).
     pub peak_backlog: u64,
+    /// Frames dropped at egress by the fault injector's loss model.
+    pub frames_dropped: u64,
+    /// Frames dropped at ingress because the bounded rx ring overflowed.
+    pub rx_ring_drops: u64,
+    /// Frames discarded by the receiver because a predecessor was lost.
+    pub ooo_frames: u64,
+    /// Retransmission rounds (fast retransmit + RTO triggers).
+    pub retransmits: u64,
+    /// Bytes rewound for retransmission.
+    pub retransmitted_bytes: u64,
+    /// Retransmission-timer expiries that triggered recovery.
+    pub rto_timeouts: u64,
+    /// Deliveries forced onto the CPU copy path by a DMA-down window.
+    pub dma_fallbacks: u64,
 }
 
 /// A simulated host: cores, cache, optional DMA engine, NIC ports and the
@@ -104,6 +132,7 @@ pub struct HostStack {
     stats: StackStats,
     tracer: Tracer,
     node_id: u32,
+    faults: FaultInjector,
 }
 
 impl std::fmt::Debug for HostStack {
@@ -158,6 +187,7 @@ impl HostStack {
             stats: StackStats::default(),
             tracer: Tracer::disabled(),
             node_id: 0,
+            faults: FaultInjector::inert(),
         }))
     }
 
@@ -218,6 +248,24 @@ impl HostStack {
     /// The attached tracer (disabled by default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attaches a fault injector. The default is [`FaultInjector::inert`],
+    /// under which every fault hook is a no-op: no RNG draws, no timers,
+    /// bit-identical runs.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// The attached fault injector (inert by default).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Marks a fault-recovery event on this node's fault track.
+    fn fault_instant(&self, name: &'static str, at: SimTime) {
+        self.tracer
+            .instant(name, Category::Fault, TrackId::new(self.node_id, 0), at);
     }
 
     fn track(&self, core: usize) -> TrackId {
@@ -445,6 +493,7 @@ fn install_endpoint(s: &StackRef, port: usize, opts: SocketOpts, id: ConnId) {
     let rcv_user = st.alloc.alloc(opts.rcvbuf);
     let state_len = st.params.conn_state_bytes;
     let state = st.alloc.alloc(state_len);
+    let rto_initial = st.params.rto_initial;
     st.conns.insert(
         id,
         Conn {
@@ -458,6 +507,10 @@ fn install_endpoint(s: &StackRef, port: usize, opts: SocketOpts, id: ConnId) {
                 user_buf: snd_user,
                 kernel_buf: snd_kern,
                 waiting_for_drain: false,
+                dup_acks: 0,
+                in_recovery: false,
+                rto_armed: false,
+                rto_current: rto_initial,
             },
             recv: RecvState {
                 opts,
@@ -635,10 +688,19 @@ fn send_chunk(s: &StackRef, sim: &mut Sim, conn: ConnId, remaining: u64) {
     );
 }
 
-/// Pushes as many frames as the window allows onto the wire.
+/// Pushes as many frames as the window allows onto the wire, then arms
+/// the retransmission timer when faults are in play.
 fn pump(s: &StackRef, sim: &mut Sim, conn: ConnId) {
+    pump_frames(s, sim, conn);
+    arm_rto(s, sim, conn);
+}
+
+/// The window-pumping loop. Each departing frame consults the fault
+/// injector: a lost frame still serializes on the wire (the sender's NIC
+/// transmitted it) but never reaches the peer's `frame_arrived`.
+fn pump_frames(s: &StackRef, sim: &mut Sim, conn: ConnId) {
     loop {
-        let (frame, port, peer, peer_port) = {
+        let (frame, port, peer, peer_port, lost) = {
             let mut st = s.borrow_mut();
             let now = sim.now();
             let Some(c) = st.conns.get_mut(&conn) else {
@@ -658,16 +720,81 @@ fn pump(s: &StackRef, sim: &mut Sim, conn: ConnId) {
             };
             let port_idx = c.send.port;
             st.tx_meter.record(now, payload);
+            let lost = st.faults.frame_lost(port_idx);
+            if lost {
+                st.stats.frames_dropped += 1;
+                st.fault_instant("pkt_drop", now);
+            }
             let port = &st.ports[port_idx];
             let peer = Rc::clone(port.peer.as_ref().expect("port not wired"));
-            (frame, port_idx, peer, port.peer_port)
+            (frame, port_idx, peer, port.peer_port, lost)
         };
         let link = s.borrow().ports[port].tx.clone();
-        let peer2 = Rc::clone(&peer);
-        link.transmit(sim, frame.wire_bytes(), move |sim| {
-            frame_arrived(&peer2, sim, peer_port, frame);
-        });
+        if lost {
+            link.transmit(sim, frame.wire_bytes(), |_sim| {});
+        } else {
+            let peer2 = Rc::clone(&peer);
+            link.transmit(sim, frame.wire_bytes(), move |sim| {
+                frame_arrived(&peer2, sim, peer_port, frame);
+            });
+        }
     }
+}
+
+/// Arms the retransmission timer for `conn` when loss is possible and
+/// unacknowledged bytes exist. Strictly a no-op with the inert injector,
+/// so fault-free runs schedule zero extra events.
+fn arm_rto(s: &StackRef, sim: &mut Sim, conn: ConnId) {
+    let armed = {
+        let mut st = s.borrow_mut();
+        if !st.faults.is_active() {
+            return;
+        }
+        let Some(c) = st.conns.get_mut(&conn) else {
+            return;
+        };
+        if c.send.rto_armed || c.send.in_flight() == 0 {
+            return;
+        }
+        c.send.rto_armed = true;
+        Some((c.send.rto_current, c.send.acked_seq))
+    };
+    if let Some((rto, snapshot)) = armed {
+        let s2 = Rc::clone(s);
+        sim.schedule(rto, move |sim| rto_fired(&s2, sim, conn, snapshot));
+    }
+}
+
+/// Retransmission-timer expiry: if the cumulative ACK point has not moved
+/// since the timer was armed, everything in flight is presumed lost —
+/// go-back-N, double the RTO and pump again. If progress happened, the
+/// timer simply re-arms for the remaining in-flight bytes.
+fn rto_fired(s: &StackRef, sim: &mut Sim, conn: ConnId, acked_snapshot: u64) {
+    {
+        let mut st = s.borrow_mut();
+        let now = sim.now();
+        let rto_max = st.params.rto_max;
+        let Some(c) = st.conns.get_mut(&conn) else {
+            return;
+        };
+        c.send.rto_armed = false;
+        if c.send.in_flight() == 0 {
+            return; // drained while the timer was pending
+        }
+        if c.send.acked_seq > acked_snapshot {
+            // Progress since arming: not a loss signal, just re-arm below.
+        } else {
+            let rewound = c.send.go_back_n();
+            c.send.rto_current = (c.send.rto_current * 2).min(rto_max);
+            c.send.in_recovery = true;
+            c.send.dup_acks = 0;
+            st.stats.rto_timeouts += 1;
+            st.stats.retransmits += 1;
+            st.stats.retransmitted_bytes += rewound;
+            st.fault_instant("rto_timeout", now);
+        }
+    }
+    pump(s, sim, conn);
 }
 
 // ---------------------------------------------------------------------------
@@ -680,6 +807,16 @@ pub fn frame_arrived(s: &StackRef, sim: &mut Sim, port: usize, frame: Frame) {
     let action = {
         let mut st = s.borrow_mut();
         let now = sim.now();
+        // Bounded rx ring (fault injection): frames arriving while the
+        // ring is full are dropped by the NIC before any CPU work. The
+        // check is deterministic — backlog depth only, no RNG.
+        if let Some(cap) = st.faults.rx_ring_slots() {
+            if st.ports[port].pending_frames.len() >= cap {
+                st.stats.rx_ring_drops += 1;
+                st.fault_instant("rx_ring_drop", now);
+                return;
+            }
+        }
         // The NIC's DMA write lands the payload in kernel memory and
         // invalidates any stale copies of those lines in the CPU cache —
         // this is why receive-side copies run cold in practice. With
@@ -755,39 +892,63 @@ fn raise_interrupt(s: &StackRef, sim: &mut Sim, port: usize) {
     };
     let s2 = Rc::clone(s);
     let end = core.borrow_mut().run_job(sim, cost, move |sim| {
-        // Protocol processing done: advance streams, ACK, deliver.
-        let mut acks: Vec<(ConnId, u64, u64)> = Vec::new();
+        // Protocol processing done: advance streams, ACK, deliver. Without
+        // injected loss every frame classifies `InOrder` (FIFO link, one
+        // stream per port), so the discard branches never run.
+        let mut acks: Vec<(ConnId, u64, u64, u32)> = Vec::new();
+        let mut gaps: Vec<(ConnId, u32)> = Vec::new();
         {
             let mut st = s2.borrow_mut();
+            let now = sim.now();
             for f in &frames {
-                let (became_active, grew) = {
-                    let c = st.conns.get_mut(&f.conn).expect("unknown conn");
-                    let was_active = HostStack::conn_rx_active(c);
-                    let before = c.recv.received_seq;
-                    c.recv.received_seq = c.recv.received_seq.max(f.seq_end);
-                    (
-                        !was_active && HostStack::conn_rx_active(c),
-                        c.recv.received_seq - before,
-                    )
-                };
-                if became_active {
-                    st.active_rx += 1;
-                }
-                st.queued_bytes += grew;
-                if st.queued_bytes > st.stats.peak_backlog {
-                    st.stats.peak_backlog = st.queued_bytes;
+                let class = st.conns[&f.conn].recv.classify(f.payload, f.seq_end);
+                match class {
+                    FrameClass::InOrder => {
+                        let (became_active, grew) = {
+                            let c = st.conns.get_mut(&f.conn).expect("unknown conn");
+                            let was_active = HostStack::conn_rx_active(c);
+                            let before = c.recv.received_seq;
+                            c.recv.received_seq = c.recv.received_seq.max(f.seq_end);
+                            (
+                                !was_active && HostStack::conn_rx_active(c),
+                                c.recv.received_seq - before,
+                            )
+                        };
+                        if became_active {
+                            st.active_rx += 1;
+                        }
+                        st.queued_bytes += grew;
+                        if st.queued_bytes > st.stats.peak_backlog {
+                            st.stats.peak_backlog = st.queued_bytes;
+                        }
+                    }
+                    FrameClass::Duplicate => {
+                        // A retransmission of data already received: the
+                        // protocol cost was paid above; just re-ACK.
+                    }
+                    FrameClass::Gap => {
+                        // Predecessor lost: the go-back-N receiver drops
+                        // the frame and signals with a duplicate ACK.
+                        st.stats.ooo_frames += 1;
+                        st.fault_instant("ooo_discard", now);
+                        match gaps.iter_mut().find(|g| g.0 == f.conn) {
+                            Some(g) => g.1 += 1,
+                            None => gaps.push((f.conn, 1)),
+                        }
+                    }
                 }
             }
             for f in &frames {
                 let c = &st.conns[&f.conn];
-                let entry = (f.conn, c.recv.received_seq, c.recv.advertised_window());
+                let dup = gaps.iter().find(|g| g.0 == f.conn).map_or(0, |g| g.1);
+                let entry = (f.conn, c.recv.received_seq, c.recv.advertised_window(), dup);
                 if !acks.iter().any(|a| a.0 == f.conn) {
                     acks.push(entry);
                 }
             }
         }
-        for (conn, seq, window) in acks {
-            send_ack(&s2, sim, conn, seq, window);
+        for (conn, seq, window, dup) in acks {
+            send_ack(&s2, sim, conn, seq, window, dup);
             try_deliver(&s2, sim, conn);
         }
     });
@@ -798,8 +959,10 @@ fn raise_interrupt(s: &StackRef, sim: &mut Sim, port: usize) {
 
 /// Sends a cumulative ACK + window update back to the peer. ACKs travel at
 /// link latency without occupying the reverse serializer (documented
-/// simplification).
-fn send_ack(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window: u64) {
+/// simplification). `dup` carries the number of duplicate-ACK signals in
+/// this batch (discarded out-of-order frames); it is 0 on every fault-free
+/// path.
+fn send_ack(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window: u64, dup: u32) {
     let (peer, latency) = {
         let st = s.borrow();
         let Some(c) = st.conns.get(&conn) else { return };
@@ -811,13 +974,14 @@ fn send_ack(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window: u64) {
     };
     let peer2 = Rc::clone(&peer);
     sim.schedule(latency, move |sim| {
-        ack_received(&peer2, sim, conn, seq, window);
+        ack_received(&peer2, sim, conn, seq, window, dup);
     });
 }
 
 /// Sender-side ACK processing: charged to the interrupt core, then the
-/// window reopens and more frames go out.
-pub fn ack_received(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window: u64) {
+/// window reopens and more frames go out. `dup > 0` reports duplicate
+/// ACKs from the receiver; three of them trigger fast retransmit.
+pub fn ack_received(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window: u64, dup: u32) {
     let (core, cost, tracer, track) = {
         let mut st = s.borrow_mut();
         if !st.conns.contains_key(&conn) {
@@ -837,11 +1001,31 @@ pub fn ack_received(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window:
     let end = core.borrow_mut().run_job(sim, cost, move |sim| {
         let drained = {
             let mut st = s2.borrow_mut();
+            let now = sim.now();
+            let rto_initial = st.params.rto_initial;
             let Some(c) = st.conns.get_mut(&conn) else {
                 return;
             };
-            c.send.on_ack(seq, window);
-            c.send.drained() && c.send.waiting_for_drain
+            let advanced = c.send.on_ack(seq, window);
+            let mut rewound = None;
+            if advanced {
+                // New data acknowledged: the hole (if any) is filled.
+                c.send.dup_acks = 0;
+                c.send.in_recovery = false;
+                c.send.rto_current = rto_initial;
+            } else if c.send.register_dup_acks(dup) {
+                // Third duplicate ACK: fast retransmit via go-back-N,
+                // without waiting for the (much longer) RTO.
+                rewound = Some(c.send.go_back_n());
+                c.send.in_recovery = true;
+            }
+            let drained = c.send.drained() && c.send.waiting_for_drain;
+            if let Some(r) = rewound {
+                st.stats.retransmits += 1;
+                st.stats.retransmitted_bytes += r;
+                st.fault_instant("fast_retx", now);
+            }
+            drained
         };
         pump(&s2, sim, conn);
         if drained {
@@ -916,7 +1100,17 @@ fn try_deliver(s: &StackRef, sim: &mut Sim, conn: ConnId) {
         }
         let p = st.params;
         let wake = st.wake_cost() + p.syscall;
-        let use_dma = st.ioat.dma_engine && bytes >= p.dma_min_bytes;
+        let mut use_dma = st.ioat.dma_engine && bytes >= p.dma_min_bytes;
+        if use_dma && st.faults.dma_down(sim.now()) {
+            // DMA-channel failure window: the engine is unavailable, so
+            // the delivery transparently falls back to the CPU copy.
+            use_dma = false;
+            st.stats.dma_fallbacks += 1;
+            if let Some(engine) = &st.dma {
+                engine.borrow_mut().note_fallback();
+            }
+            st.fault_instant("dma_fallback", sim.now());
+        }
         if use_dma {
             let engine = Rc::clone(st.dma.as_ref().expect("dma enabled without engine"));
             let req = DmaRequest::new(src, dst);
@@ -1044,7 +1238,7 @@ fn finish_delivery(s: &StackRef, sim: &mut Sim, conn: ConnId, bytes: u64) {
         );
         out
     };
-    send_ack(s, sim, conn, seq, window);
+    send_ack(s, sim, conn, seq, window, 0);
     emit(s, sim, conn, SocketEvent::Delivered(bytes));
     try_deliver(s, sim, conn);
 }
@@ -1252,6 +1446,118 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.name == "dma_transfer" && e.track == TrackId::new(1, 4)));
+    }
+
+    #[test]
+    fn inert_injector_is_bit_identical_to_no_injector() {
+        let run = |attach: bool| {
+            let (mut sim, a, b, conn) = pair(IoatConfig::full(), SocketOpts::tuned());
+            if attach {
+                let plan = ioat_faults::FaultPlan::none();
+                a.borrow_mut()
+                    .set_fault_injector(FaultInjector::new(&plan, 0));
+                b.borrow_mut()
+                    .set_fault_injector(FaultInjector::new(&plan, 1));
+            }
+            app_send(&a, &mut sim, conn, 2_000_000);
+            let end = sim.run();
+            let out = (end, b.borrow().rx_meter().total_bytes(), b.borrow().stats());
+            out
+        };
+        let (end_none, bytes_none, stats_none) = run(false);
+        let (end_inert, bytes_inert, stats_inert) = run(true);
+        assert_eq!(end_none, end_inert, "inert injector shifted event times");
+        assert_eq!(bytes_none, bytes_inert);
+        assert_eq!(stats_none.interrupts, stats_inert.interrupts);
+        assert_eq!(stats_inert.frames_dropped, 0);
+        assert_eq!(stats_inert.retransmits, 0);
+    }
+
+    #[test]
+    fn loss_is_recovered_and_all_bytes_still_arrive_once() {
+        let (mut sim, a, b, conn) = pair(IoatConfig::disabled(), SocketOpts::tuned());
+        let plan = ioat_faults::FaultPlan::bernoulli_loss(0x10AD, 2e-3);
+        a.borrow_mut()
+            .set_fault_injector(FaultInjector::new(&plan, 0));
+        b.borrow_mut()
+            .set_fault_injector(FaultInjector::new(&plan, 1));
+        let total = 5_000_000u64;
+        let got = Rc::new(RefCell::new(0u64));
+        let g = Rc::clone(&got);
+        set_handler(&b, conn, move |_sim, ev| {
+            if let SocketEvent::Delivered(n) = ev {
+                *g.borrow_mut() += n;
+            }
+        });
+        app_send(&a, &mut sim, conn, total);
+        sim.run();
+        assert_eq!(*got.borrow(), total, "recovery must deliver every byte");
+        let sa = a.borrow().stats();
+        assert!(sa.frames_dropped > 0, "expected injected drops");
+        assert!(sa.retransmits > 0, "expected retransmission rounds");
+        assert!(sa.retransmitted_bytes > 0);
+        let sb = b.borrow().stats();
+        assert!(sb.ooo_frames > 0, "receiver should discard gap frames");
+    }
+
+    #[test]
+    fn rx_ring_overflow_drops_are_recovered() {
+        let (mut sim, a, b, conn) = pair(IoatConfig::disabled(), SocketOpts::tuned());
+        let plan = ioat_faults::FaultPlan {
+            rx_ring_slots: Some(2),
+            ..ioat_faults::FaultPlan::none()
+        };
+        a.borrow_mut()
+            .set_fault_injector(FaultInjector::new(&plan, 0));
+        b.borrow_mut()
+            .set_fault_injector(FaultInjector::new(&plan, 1));
+        let total = 2_000_000u64;
+        app_send(&a, &mut sim, conn, total);
+        sim.run();
+        assert_eq!(b.borrow().rx_meter().total_bytes(), total);
+        assert!(
+            b.borrow().stats().rx_ring_drops > 0,
+            "2-slot ring under coalescing must overflow"
+        );
+    }
+
+    #[test]
+    fn dma_down_window_falls_back_to_cpu_copies() {
+        let (mut sim, a, b, conn) = pair(IoatConfig::full(), SocketOpts::tuned());
+        let plan = ioat_faults::FaultPlan {
+            dma_down: vec![ioat_faults::TimeWindow::new(
+                SimTime::ZERO,
+                SimTime::from_micros(1_000_000_000),
+            )],
+            ..ioat_faults::FaultPlan::none()
+        };
+        b.borrow_mut()
+            .set_fault_injector(FaultInjector::new(&plan, 1));
+        let total = 1_000_000u64;
+        app_send(&a, &mut sim, conn, total);
+        sim.run();
+        let stats = b.borrow().stats();
+        assert_eq!(b.borrow().rx_meter().total_bytes(), total);
+        assert_eq!(stats.dma_deliveries, 0, "engine is down the whole run");
+        assert!(stats.dma_fallbacks > 0);
+        assert_eq!(b.borrow().dma().unwrap().borrow().stats().bytes, 0);
+    }
+
+    #[test]
+    fn fault_runs_replay_bit_identically_for_a_fixed_seed() {
+        let run = || {
+            let (mut sim, a, b, conn) = pair(IoatConfig::disabled(), SocketOpts::tuned());
+            let plan = ioat_faults::FaultPlan::bernoulli_loss(99, 1e-3);
+            a.borrow_mut()
+                .set_fault_injector(FaultInjector::new(&plan, 0));
+            b.borrow_mut()
+                .set_fault_injector(FaultInjector::new(&plan, 1));
+            app_send(&a, &mut sim, conn, 3_000_000);
+            let end = sim.run();
+            let sa = a.borrow().stats();
+            (end, sa.frames_dropped, sa.retransmits, sa.rto_timeouts)
+        };
+        assert_eq!(run(), run(), "same seed must replay the same faults");
     }
 
     #[test]

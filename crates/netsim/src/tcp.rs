@@ -1,15 +1,34 @@
 //! Simplified TCP connection state.
 //!
-//! The experiments are LAN throughput tests with no loss, so the model
-//! keeps exactly what matters to them: MSS segmentation, a byte-granular
-//! sliding window bounded by the peer's receive buffer, cumulative ACKs
-//! and advertised-window updates. No retransmission, slow start or
-//! congestion control — on the paper's dedicated switch paths TCP runs at
-//! the receiver-limited window from the start.
+//! The paper's experiments are LAN throughput tests on a dedicated
+//! switch, so the *default* model keeps exactly what matters to them:
+//! MSS segmentation, a byte-granular sliding window bounded by the
+//! peer's receive buffer, cumulative ACKs and advertised-window updates.
+//! With no faults configured the path is loss-free and in-order, TCP
+//! runs at the receiver-limited window from the start, and none of the
+//! recovery machinery below ever fires — no timers are armed and no RNG
+//! is consumed, keeping runs bit-identical to the pre-fault simulator.
+//!
+//! When an [`ioat-faults`] plan injects loss, a minimal recovery model
+//! activates on top of the same state: a retransmission timeout per
+//! connection (exponential backoff, `StackParams::rto_initial` →
+//! `rto_max`) and fast retransmit after three duplicate ACKs, both
+//! resolving by go-back-N from the last cumulative ACK. Retransmitted
+//! bytes traverse the identical wire/interrupt/protocol/copy cost path
+//! as first transmissions, so CPU-utilization figures under loss remain
+//! honest. Slow start and congestion control stay out of scope: the
+//! reproduced experiments are window- or CPU-limited, never
+//! congestion-limited.
+//!
+//! [`ioat-faults`]: ../../ioat_faults/index.html
 
 use crate::config::SocketOpts;
 use ioat_memsim::Buffer;
+use ioat_simcore::SimDuration;
 use std::fmt;
+
+/// Duplicate ACKs that trigger fast retransmit (TCP's classic threshold).
+pub const DUP_ACK_THRESHOLD: u32 = 3;
 
 /// Identifies a connection; both endpoints use the same id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,6 +63,16 @@ pub struct SendState {
     pub kernel_buf: Buffer,
     /// True while the app has asked to be told when the buffer drains.
     pub waiting_for_drain: bool,
+    /// Duplicate ACKs seen since the last window advance (fault path).
+    pub dup_acks: u32,
+    /// True between a retransmit trigger and the next advancing ACK;
+    /// suppresses redundant retransmissions for the same hole.
+    pub in_recovery: bool,
+    /// True while a retransmission timer is scheduled for this connection.
+    pub rto_armed: bool,
+    /// Current retransmission timeout (doubles per expiry up to
+    /// `StackParams::rto_max`; resets on an advancing ACK).
+    pub rto_current: SimDuration,
 }
 
 impl SendState {
@@ -58,18 +87,63 @@ impl SendState {
     }
 
     /// Registers an ACK: cumulative `seq` plus the peer's current window.
-    /// Out-of-order (stale) ACKs are ignored.
-    pub fn on_ack(&mut self, seq: u64, window: u64) {
+    /// Out-of-order (stale) ACKs are ignored. Returns `true` when the
+    /// cumulative ACK point advanced (new data was acknowledged).
+    pub fn on_ack(&mut self, seq: u64, window: u64) -> bool {
         if seq >= self.acked_seq {
+            let before = self.acked_seq;
             self.acked_seq = seq.min(self.next_seq);
             self.peer_window = window;
+            self.acked_seq > before
+        } else {
+            false
         }
+    }
+
+    /// Counts duplicate ACKs reported by the receiver. Returns `true`
+    /// when the [`DUP_ACK_THRESHOLD`] is crossed and the connection is
+    /// not already recovering — i.e. when fast retransmit should fire.
+    pub fn register_dup_acks(&mut self, count: u32) -> bool {
+        if count == 0 || self.in_recovery {
+            return false;
+        }
+        self.dup_acks += count;
+        if self.dup_acks >= DUP_ACK_THRESHOLD {
+            self.dup_acks = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Go-back-N rewind: everything unacknowledged becomes pending again
+    /// so the pump resends from the last cumulative ACK. Returns the byte
+    /// count rewound (the retransmission volume).
+    pub fn go_back_n(&mut self) -> u64 {
+        let rewind = self.in_flight();
+        self.pending += rewind;
+        self.next_seq = self.acked_seq;
+        rewind
     }
 
     /// True when everything queued has been sent and acknowledged.
     pub fn drained(&self) -> bool {
         self.pending == 0 && self.in_flight() == 0
     }
+}
+
+/// How an arriving frame relates to the receiver's cumulative position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameClass {
+    /// Contiguous with (or overlapping into) the cumulative point:
+    /// advances `received_seq`.
+    InOrder,
+    /// Entirely at or below the cumulative point — a retransmission of
+    /// data already received. Acknowledged again and discarded.
+    Duplicate,
+    /// Starts beyond the cumulative point: a predecessor was lost. The
+    /// go-back-N receiver discards it and emits a duplicate ACK.
+    Gap,
 }
 
 /// Receiver-side per-connection state.
@@ -108,6 +182,22 @@ impl RecvState {
     /// The window to advertise: free kernel-buffer space.
     pub fn advertised_window(&self) -> u64 {
         self.opts.rcvbuf.saturating_sub(self.queued())
+    }
+
+    /// Classifies a frame carrying `payload` bytes ending at cumulative
+    /// sequence `seq_end` against the current `received_seq`. Without
+    /// injected loss every frame is [`FrameClass::InOrder`] (the link is
+    /// FIFO and each connection uses one port), so the fault-free path
+    /// never observes the other variants.
+    pub fn classify(&self, payload: u64, seq_end: u64) -> FrameClass {
+        let start = seq_end - payload;
+        if seq_end <= self.received_seq {
+            FrameClass::Duplicate
+        } else if start > self.received_seq {
+            FrameClass::Gap
+        } else {
+            FrameClass::InOrder
+        }
     }
 
     /// Cycling offset of cumulative position `seq` within a buffer of
@@ -157,6 +247,10 @@ mod tests {
             user_buf: Buffer::new(0, 1024),
             kernel_buf: Buffer::new(4096, 1024),
             waiting_for_drain: false,
+            dup_acks: 0,
+            in_recovery: false,
+            rto_armed: false,
+            rto_current: SimDuration::from_millis(3),
         }
     }
 
@@ -197,6 +291,61 @@ mod tests {
         assert!(!s.drained());
         s.on_ack(10, 1_000);
         assert!(s.drained());
+    }
+
+    #[test]
+    fn on_ack_reports_window_advance() {
+        let mut s = send_state(10_000);
+        s.next_seq = 5_000;
+        assert!(s.on_ack(2_000, 10_000));
+        assert!(!s.on_ack(2_000, 9_000), "same seq is not an advance");
+        assert_eq!(s.peer_window, 9_000, "window still updates");
+        assert!(!s.on_ack(1_000, 8_000), "stale ack is not an advance");
+    }
+
+    #[test]
+    fn dup_acks_trigger_fast_retransmit_once() {
+        let mut s = send_state(10_000);
+        assert!(!s.register_dup_acks(2));
+        assert!(s.register_dup_acks(1), "third dup-ack crosses threshold");
+        s.in_recovery = true;
+        assert!(!s.register_dup_acks(5), "suppressed while recovering");
+        s.in_recovery = false;
+        assert!(s.register_dup_acks(4), "batched dup-acks count at once");
+    }
+
+    #[test]
+    fn go_back_n_rewinds_in_flight_bytes() {
+        let mut s = send_state(10_000);
+        s.next_seq = 8_000;
+        s.acked_seq = 3_000;
+        s.pending = 100;
+        assert_eq!(s.go_back_n(), 5_000);
+        assert_eq!(s.next_seq, 3_000);
+        assert_eq!(s.pending, 5_100);
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.go_back_n(), 0, "nothing in flight, nothing rewound");
+    }
+
+    #[test]
+    fn classify_frames_against_cumulative_point() {
+        let mut r = RecvState {
+            opts: SocketOpts::case1(),
+            received_seq: 5_000,
+            delivered_seq: 0,
+            copying: false,
+            copying_bytes: 0,
+            kernel_buf: Buffer::new(0, 65_536),
+            user_buf: Buffer::new(1 << 20, 65_536),
+            state_buf: Buffer::new(2 << 20, 320),
+            recv_credits: None,
+        };
+        assert_eq!(r.classify(1_000, 6_000), FrameClass::InOrder);
+        assert_eq!(r.classify(1_000, 5_000), FrameClass::Duplicate);
+        assert_eq!(r.classify(1_000, 4_000), FrameClass::Duplicate);
+        assert_eq!(r.classify(1_000, 6_001), FrameClass::Gap);
+        r.received_seq = 0;
+        assert_eq!(r.classify(1_460, 1_460), FrameClass::InOrder);
     }
 
     #[test]

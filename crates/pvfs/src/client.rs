@@ -8,11 +8,12 @@
 
 use crate::iod::{IodReply, IodRequest, READ_REQ_BYTES};
 use crate::layout::{Layout, StripePiece};
+use ioat_faults::{FaultInjector, RetryPolicy};
 use ioat_netsim::msg::MsgSender;
 use ioat_netsim::Socket;
 use ioat_simcore::{Counter, Sim, SimDuration};
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Direction of the concurrent test.
@@ -54,16 +55,45 @@ impl ClientParams {
     }
 }
 
+/// Fault/recovery activity of one client process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClientFaultStats {
+    /// Per-op deadlines that expired.
+    pub timeouts: u64,
+    /// Requests reissued after a timeout.
+    pub retries: u64,
+    /// Reissues that moved the op to a different I/O server.
+    pub failovers: u64,
+    /// Ops abandoned after exhausting retries.
+    pub failed_ops: u64,
+    /// Replies that arrived for an op already retried or abandoned.
+    pub stale_replies: u64,
+}
+
+/// One outstanding attempt: which piece, which server it was sent to,
+/// how many times it has already been reissued.
+struct OpState {
+    piece: StripePiece,
+    server: usize,
+    attempts: u32,
+}
+
 struct State {
     pieces: Vec<StripePiece>,
     next: usize,
     outstanding: usize,
     mode: IoMode,
     params: ClientParams,
-    /// FIFO of issued piece lengths per server (acks return in order).
-    in_flight: Vec<VecDeque<u64>>,
+    /// Outstanding ops keyed by attempt id. A retry mints a fresh id, so
+    /// a late reply to a superseded attempt is recognizably stale.
+    ops: BTreeMap<u64, OpState>,
+    next_op: u64,
     done: Rc<RefCell<Counter>>,
     started: bool,
+    faults: FaultInjector,
+    retry: RetryPolicy,
+    stats: ClientFaultStats,
 }
 
 /// One compute-node client process.
@@ -106,13 +136,31 @@ impl ClientProcess {
                 outstanding: 0,
                 mode,
                 params,
-                in_flight: vec![VecDeque::new(); layout.servers],
+                ops: BTreeMap::new(),
+                next_op: 0,
                 done,
                 started: false,
+                faults: FaultInjector::inert(),
+                retry: RetryPolicy::default(),
+                stats: ClientFaultStats::default(),
             })),
             senders: Rc::new(RefCell::new(Vec::new())),
             socket_for_compute,
         }
+    }
+
+    /// Arms the client's recovery machinery: per-op deadlines, bounded
+    /// retries and failover to surviving servers. With an inert injector
+    /// (the default) no deadline events are ever scheduled.
+    pub fn set_faults(&self, faults: FaultInjector, retry: RetryPolicy) {
+        let mut st = self.state.borrow_mut();
+        st.faults = faults;
+        st.retry = retry;
+    }
+
+    /// Fault/recovery counters accumulated so far.
+    pub fn fault_stats(&self) -> ClientFaultStats {
+        self.state.borrow().stats
     }
 
     /// Registers the request sender for server `index` (must be called
@@ -121,36 +169,34 @@ impl ClientProcess {
         self.senders.borrow_mut().push(sender);
     }
 
-    /// The reply handler for server `server`'s connection; pass to
-    /// [`crate::iod::serve`]. `conn_sock` is the client endpoint of that
-    /// connection — the handler re-posts its read after processing, so a
-    /// credit-limited connection exerts backpressure while the client
-    /// thread is busy.
-    pub fn reply_handler(
-        &self,
-        server: usize,
-        conn_sock: Socket,
-    ) -> impl FnMut(&mut Sim, IodReply) + 'static {
+    /// The reply handler for one server connection; pass to
+    /// [`crate::iod::serve`]. Replies are matched to outstanding ops by
+    /// the echoed op id (not arrival order), so the same handler works
+    /// under retries and failover. `conn_sock` is the client endpoint of
+    /// that connection — the handler re-posts its read after processing,
+    /// so a credit-limited connection exerts backpressure while the
+    /// client thread is busy.
+    pub fn reply_handler(&self, conn_sock: Socket) -> impl FnMut(&mut Sim, IodReply) + 'static {
         let state = Rc::clone(&self.state);
         let senders = Rc::clone(&self.senders);
         let sock = self.socket_for_compute.clone();
         move |sim, reply| {
-            let (len, cost) = {
+            let cost = {
                 let mut st = state.borrow_mut();
-                let len = match reply {
-                    IodReply::Data { len } => {
-                        st.in_flight[server].pop_front();
-                        len
-                    }
-                    IodReply::Ack => st.in_flight[server]
-                        .pop_front()
-                        .expect("ack without an in-flight write"),
+                let Some(opst) = st.ops.remove(&reply.op()) else {
+                    // The op was already retried or abandoned; discard the
+                    // late answer but keep the credit-limited connection
+                    // receiving. Stale replies cost no client CPU.
+                    st.stats.stale_replies += 1;
+                    drop(st);
+                    conn_sock.post_recv(sim);
+                    return;
                 };
+                let len = opst.piece.len;
                 st.outstanding -= 1;
                 st.done.borrow_mut().add_at(sim.now(), len);
-                (len, st.params.piece_cost(len))
+                st.params.piece_cost(len)
             };
-            let _ = len;
             let state2 = Rc::clone(&state);
             let senders2 = Rc::clone(&senders);
             let conn2 = conn_sock.clone();
@@ -174,11 +220,9 @@ impl ClientProcess {
     }
 }
 
-fn issue(
-    state: &Rc<RefCell<State>>,
-    senders: &Rc<RefCell<Vec<MsgSender<IodRequest>>>>,
-    sim: &mut Sim,
-) {
+type Senders = Rc<RefCell<Vec<MsgSender<IodRequest>>>>;
+
+fn issue(state: &Rc<RefCell<State>>, senders: &Senders, sim: &mut Sim) {
     loop {
         let action = {
             let mut st = state.borrow_mut();
@@ -189,17 +233,112 @@ fn issue(
                 let piece = st.pieces[idx];
                 st.next += 1;
                 st.outstanding += 1;
-                st.in_flight[piece.server].push_back(piece.len);
-                Some((piece, st.mode))
+                let op = st.next_op;
+                st.next_op += 1;
+                st.ops.insert(
+                    op,
+                    OpState {
+                        piece,
+                        server: piece.server,
+                        attempts: 0,
+                    },
+                );
+                Some((op, piece, st.mode, st.faults.is_active()))
             }
         };
-        let Some((piece, mode)) = action else { return };
-        let senders = senders.borrow();
-        let sender = &senders[piece.server];
-        match mode {
-            IoMode::Read => sender.send(sim, READ_REQ_BYTES, IodRequest::Read { len: piece.len }),
-            IoMode::Write => sender.send(sim, piece.len, IodRequest::Write { len: piece.len }),
+        let Some((op, piece, mode, faulty)) = action else {
+            return;
+        };
+        send_request(senders, sim, piece.server, op, piece.len, mode);
+        if faulty {
+            arm_deadline(state, senders, sim, op, 0);
         }
+    }
+}
+
+fn send_request(senders: &Senders, sim: &mut Sim, server: usize, op: u64, len: u64, mode: IoMode) {
+    let senders = senders.borrow();
+    let sender = &senders[server];
+    match mode {
+        IoMode::Read => sender.send(sim, READ_REQ_BYTES, IodRequest::Read { op, len }),
+        IoMode::Write => sender.send(sim, len, IodRequest::Write { op, len }),
+    }
+}
+
+/// Schedules the per-op deadline (only called when faults are active).
+fn arm_deadline(
+    state: &Rc<RefCell<State>>,
+    senders: &Senders,
+    sim: &mut Sim,
+    op: u64,
+    attempt: u32,
+) {
+    let deadline = state.borrow().retry.deadline(attempt);
+    let state2 = Rc::clone(state);
+    let senders2 = Rc::clone(senders);
+    sim.schedule(deadline, move |sim| {
+        deadline_fired(&state2, &senders2, sim, op);
+    });
+}
+
+fn deadline_fired(state: &Rc<RefCell<State>>, senders: &Senders, sim: &mut Sim, op: u64) {
+    let mut refill = false;
+    let action = {
+        let mut st = state.borrow_mut();
+        match st.ops.remove(&op) {
+            None => None, // answered in time; the timer is a no-op
+            Some(opst) => {
+                st.stats.timeouts += 1;
+                if opst.attempts < st.retry.max_retries {
+                    let n = senders.borrow().len();
+                    let now = sim.now();
+                    // Retry in place if the daemon looks alive (the loss
+                    // was in the network); otherwise fail over to the
+                    // next surviving server, advancing cyclically if
+                    // every daemon looks down.
+                    let target = if !st.faults.service_down(opst.server as u32, now) {
+                        opst.server
+                    } else {
+                        let mut t = (opst.server + 1) % n;
+                        for step in 1..=n {
+                            let cand = (opst.server + step) % n;
+                            if !st.faults.service_down(cand as u32, now) {
+                                t = cand;
+                                break;
+                            }
+                        }
+                        t
+                    };
+                    st.stats.retries += 1;
+                    if target != opst.server {
+                        st.stats.failovers += 1;
+                    }
+                    let new_op = st.next_op;
+                    st.next_op += 1;
+                    let attempts = opst.attempts + 1;
+                    st.ops.insert(
+                        new_op,
+                        OpState {
+                            piece: opst.piece,
+                            server: target,
+                            attempts,
+                        },
+                    );
+                    Some((new_op, opst.piece, target, st.mode, attempts))
+                } else {
+                    st.stats.failed_ops += 1;
+                    st.outstanding -= 1;
+                    refill = true;
+                    None
+                }
+            }
+        }
+    };
+    if let Some((new_op, piece, server, mode, attempts)) = action {
+        send_request(senders, sim, server, new_op, piece.len, mode);
+        arm_deadline(state, senders, sim, new_op, attempts);
+    } else if refill {
+        issue(state, senders, sim);
     }
 }
 

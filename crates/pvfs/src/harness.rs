@@ -13,13 +13,14 @@
 //! average CPU utilization at the client-side while performing a read
 //! operation"), the *server* node for writes.
 
-use crate::client::{ClientParams, ClientProcess, IoMode};
+use crate::client::{ClientFaultStats, ClientParams, ClientProcess, IoMode};
 use crate::iod::{self, IodParams};
 use crate::layout::Layout;
 use crate::meta::{self, MetaParams, META_REQ_BYTES};
 use ioat_core::cluster::{Cluster, NodeConfig};
 use ioat_core::metrics::ExperimentWindow;
 use ioat_core::{IoatConfig, SocketOpts};
+use ioat_faults::{FaultInjector, FaultPlan, RetryPolicy};
 use ioat_simcore::{Counter, SimDuration, SimTime};
 use ioat_telemetry::{Category, Tracer, TrackId};
 use std::cell::RefCell;
@@ -30,7 +31,7 @@ use std::rc::Rc;
 pub const IO_LANES_NODE: u32 = 2;
 
 /// Configuration of a PVFS experiment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PvfsConfig {
     /// Number of I/O daemons (one per GigE port pair).
     pub io_servers: usize,
@@ -48,6 +49,13 @@ pub struct PvfsConfig {
     pub client: ClientParams,
     /// Measurement window.
     pub window: ExperimentWindow,
+    /// Fault plan. Service id `s` in a crash window is I/O daemon `s`;
+    /// [`FaultPlan::none()`] keeps runs bit-identical to fault-free
+    /// builds (no deadline events are scheduled at all).
+    pub faults: FaultPlan,
+    /// Per-op deadline/retry/failover policy, consulted only when
+    /// `faults` is active.
+    pub retry: RetryPolicy,
 }
 
 impl PvfsConfig {
@@ -62,6 +70,8 @@ impl PvfsConfig {
             meta: MetaParams::default(),
             client: ClientParams::default(),
             window: ExperimentWindow::standard(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -80,6 +90,8 @@ impl PvfsConfig {
                 ..ClientParams::default()
             },
             window: ExperimentWindow::quick(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -96,6 +108,18 @@ pub struct PvfsResult {
     pub server_cpu: f64,
     /// Completed metadata opens (one per client).
     pub opens: u64,
+    /// Per-op deadlines that expired, summed over clients.
+    pub timeouts: u64,
+    /// Requests reissued after a timeout, summed over clients.
+    pub retries: u64,
+    /// Reissues redirected to a different I/O server.
+    pub failovers: u64,
+    /// Ops abandoned after exhausting retries.
+    pub failed_ops: u64,
+    /// Replies discarded because their op was already retried/abandoned.
+    pub stale_replies: u64,
+    /// Requests dropped by crashed I/O daemons.
+    pub daemon_drops: u64,
 }
 
 fn run(cfg: &PvfsConfig, mode: IoMode) -> PvfsResult {
@@ -106,9 +130,14 @@ fn run_traced(cfg: &PvfsConfig, mode: IoMode, tracer: &Tracer) -> PvfsResult {
     assert!(cfg.io_servers > 0 && cfg.clients > 0);
     let mut cluster = Cluster::new(0xF5);
     cluster.set_tracer(tracer.clone());
+    cluster.set_faults(&cfg.faults);
     if tracer.is_enabled() {
         tracer.set_process_name(IO_LANES_NODE, "pvfs-ops");
     }
+    // App-level views of the plan: daemon crash windows on the server
+    // node (1), the clients' own failover view on the compute node (0).
+    let server_faults = FaultInjector::new(&cfg.faults, 1);
+    let client_faults = FaultInjector::new(&cfg.faults, 0);
     let compute = cluster.add_node(NodeConfig::testbed("compute", cfg.ioat));
     let server = cluster.add_node(NodeConfig::testbed("io-server", cfg.ioat));
     let opts = SocketOpts::tuned();
@@ -122,6 +151,7 @@ fn run_traced(cfg: &PvfsConfig, mode: IoMode, tracer: &Tracer) -> PvfsResult {
     let opens = Rc::new(RefCell::new(0u64));
     let layout = Layout::default_over(cfg.io_servers);
     let region = cfg.region_per_server * cfg.io_servers as u64;
+    let mut processes = Vec::new();
 
     for c in 0..cfg.clients {
         // Data connections: one per I/O server, over that server's port.
@@ -141,6 +171,8 @@ fn run_traced(cfg: &PvfsConfig, mode: IoMode, tracer: &Tracer) -> PvfsResult {
             Rc::clone(&done),
             client_socks[0].clone(),
         ));
+        process.set_faults(client_faults.clone(), cfg.retry);
+        processes.push(Rc::clone(&process));
         let lane = TrackId::new(IO_LANES_NODE, c as u32);
         tracer.set_track_name(lane, &format!("client{c}"));
         for s in 0..cfg.io_servers {
@@ -148,12 +180,14 @@ fn run_traced(cfg: &PvfsConfig, mode: IoMode, tracer: &Tracer) -> PvfsResult {
             // thread processes a piece, further data backs up in the
             // kernel (real recv-loop backpressure).
             client_socks[s].set_recv_credits(1);
-            let mut on_reply = process.reply_handler(s, client_socks[s].clone());
+            let mut on_reply = process.reply_handler(client_socks[s].clone());
             let trc = tracer.clone();
-            let sender = iod::serve(
+            let sender = iod::serve_with_faults(
                 client_socks[s].clone(),
                 server_socks[s].clone(),
                 cfg.iod,
+                server_faults.clone(),
+                s as u32,
                 move |sim, reply| {
                     trc.instant("io_reply", Category::Io, lane, sim.now());
                     on_reply(sim, reply);
@@ -186,11 +220,26 @@ fn run_traced(cfg: &PvfsConfig, mode: IoMode, tracer: &Tracer) -> PvfsResult {
     let result = {
         let cs = cluster.stack(compute).borrow();
         let ss = cluster.stack(server).borrow();
+        let mut fs = ClientFaultStats::default();
+        for p in &processes {
+            let s = p.fault_stats();
+            fs.timeouts += s.timeouts;
+            fs.retries += s.retries;
+            fs.failovers += s.failovers;
+            fs.failed_ops += s.failed_ops;
+            fs.stale_replies += s.stale_replies;
+        }
         PvfsResult {
             mbytes_per_sec: done.borrow().window_total() as f64 / 1e6 / elapsed,
             client_cpu: cs.cpu_utilization(from, to),
             server_cpu: ss.cpu_utilization(from, to),
             opens: *opens.borrow(),
+            timeouts: fs.timeouts,
+            retries: fs.retries,
+            failovers: fs.failovers,
+            failed_ops: fs.failed_ops,
+            stale_replies: fs.stale_replies,
+            daemon_drops: server_faults.daemon_drops(),
         }
     };
     result
@@ -221,7 +270,7 @@ pub fn concurrent_write_traced(cfg: &PvfsConfig, tracer: &Tracer) -> PvfsResult 
 /// Fig. 12 — multi-stream read with `threads` emulated clients on the
 /// compute node.
 pub fn multi_stream_read(cfg: &PvfsConfig, threads: usize) -> PvfsResult {
-    let mut cfg = *cfg;
+    let mut cfg = cfg.clone();
     cfg.clients = threads;
     run(&cfg, IoMode::Read)
 }
@@ -301,5 +350,60 @@ mod tests {
         let cfg = PvfsConfig::quick_test(2, 1, IoatConfig::disabled());
         let r = multi_stream_read(&cfg, 3);
         assert_eq!(r.opens, 3);
+    }
+
+    #[test]
+    fn inert_fault_plan_leaves_counters_at_zero() {
+        let r = concurrent_read(&PvfsConfig::quick_test(2, 2, IoatConfig::disabled()));
+        assert_eq!(
+            (r.timeouts, r.retries, r.failovers, r.failed_ops),
+            (0, 0, 0, 0)
+        );
+        assert_eq!((r.stale_replies, r.daemon_drops), (0, 0));
+    }
+
+    fn crash_cfg() -> PvfsConfig {
+        use ioat_simcore::SimTime;
+        let mut cfg = PvfsConfig::quick_test(2, 2, IoatConfig::disabled());
+        // Daemon 0 dark from 0.5 ms to 12 ms of the 30 ms quick run;
+        // short deadlines so ops fail over to daemon 1 and keep flowing.
+        cfg.faults.crashes.push(ioat_faults::CrashWindow {
+            service: 0,
+            window: ioat_faults::TimeWindow::new(
+                SimTime::from_nanos(500_000),
+                SimTime::from_nanos(12_000_000),
+            ),
+        });
+        cfg.retry.timeout = SimDuration::from_millis(1);
+        cfg
+    }
+
+    #[test]
+    fn daemon_crash_triggers_failover_to_surviving_server() {
+        let r = concurrent_read(&crash_cfg());
+        assert!(r.daemon_drops > 0, "crashed daemon must drop requests");
+        assert!(r.timeouts > 0, "dropped ops must hit their deadline");
+        assert!(
+            r.failovers > 0,
+            "retries must move to the surviving daemon: {r:?}"
+        );
+        assert!(
+            r.mbytes_per_sec > 0.0,
+            "reads must keep completing via the surviving daemon"
+        );
+        let clean = concurrent_read(&PvfsConfig::quick_test(2, 2, IoatConfig::disabled()));
+        assert!(
+            r.mbytes_per_sec < clean.mbytes_per_sec,
+            "an 11.5 ms outage must cost bandwidth: {} vs {}",
+            r.mbytes_per_sec,
+            clean.mbytes_per_sec
+        );
+    }
+
+    #[test]
+    fn crash_runs_are_reproducible() {
+        let a = concurrent_read(&crash_cfg());
+        let b = concurrent_read(&crash_cfg());
+        assert_eq!(a, b);
     }
 }

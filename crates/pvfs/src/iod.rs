@@ -7,6 +7,7 @@
 //! read is a page-cache lookup plus `sendfile`, and a write is a memory
 //! copy into the page cache.
 
+use ioat_faults::FaultInjector;
 use ioat_netsim::msg::{self, MsgSender};
 use ioat_netsim::Socket;
 use ioat_simcore::{Sim, SimDuration};
@@ -23,11 +24,15 @@ pub const WRITE_ACK_BYTES: u64 = 64;
 pub enum IodRequest {
     /// Read `len` bytes of this server's stripe pieces.
     Read {
+        /// Client-assigned operation (attempt) id, echoed in the reply.
+        op: u64,
         /// Piece length in bytes.
         len: u64,
     },
     /// The message itself carries `len` bytes to be written.
     Write {
+        /// Client-assigned operation (attempt) id, echoed in the reply.
+        op: u64,
         /// Piece length in bytes.
         len: u64,
     },
@@ -39,11 +44,26 @@ pub enum IodRequest {
 pub enum IodReply {
     /// The message carries `len` bytes of file data.
     Data {
+        /// Operation id of the request being answered.
+        op: u64,
         /// Piece length in bytes.
         len: u64,
     },
     /// A write completed.
-    Ack,
+    Ack {
+        /// Operation id of the write being acknowledged.
+        op: u64,
+    },
+}
+
+impl IodReply {
+    /// The operation id this reply answers.
+    pub fn op(&self) -> u64 {
+        match *self {
+            IodReply::Data { op, .. } => op,
+            IodReply::Ack { op } => op,
+        }
+    }
 }
 
 /// `ramfs` + request-handling costs of an I/O daemon.
@@ -94,6 +114,32 @@ pub fn serve<F>(
 where
     F: FnMut(&mut Sim, IodReply) + 'static,
 {
+    serve_with_faults(
+        client_sock,
+        server_sock,
+        params,
+        FaultInjector::inert(),
+        0,
+        on_reply,
+    )
+}
+
+/// [`serve`] under a fault injector: while the daemon's crash window
+/// (service id `service`) is open, incoming requests are dropped on the
+/// floor — the bytes were already delivered (message framing stays
+/// intact), only the handler goes dark. The client's deadline/failover
+/// machinery is responsible for recovery.
+pub fn serve_with_faults<F>(
+    client_sock: Socket,
+    server_sock: Socket,
+    params: IodParams,
+    faults: FaultInjector,
+    service: u32,
+    on_reply: F,
+) -> MsgSender<IodRequest>
+where
+    F: FnMut(&mut Sim, IodReply) + 'static,
+{
     // Replies daemon → client.
     let reply = Rc::new(msg::channel(
         server_sock.clone(),
@@ -103,16 +149,20 @@ where
     // Requests client → daemon.
     let server2 = server_sock.clone();
     msg::channel(client_sock, server_sock, move |sim, req: IodRequest| {
+        if faults.service_down(service, sim.now()) {
+            faults.note_daemon_drop();
+            return;
+        }
         let reply2 = Rc::clone(&reply);
         match req {
-            IodRequest::Read { len } => {
+            IodRequest::Read { op, len } => {
                 server2.compute(sim, params.read_cost(len), move |sim| {
-                    reply2.send(sim, len, IodReply::Data { len });
+                    reply2.send(sim, len, IodReply::Data { op, len });
                 });
             }
-            IodRequest::Write { len } => {
+            IodRequest::Write { op, len } => {
                 server2.compute(sim, params.write_cost(len), move |sim| {
-                    reply2.send(sim, WRITE_ACK_BYTES, IodReply::Ack);
+                    reply2.send(sim, WRITE_ACK_BYTES, IodReply::Ack { op });
                 });
             }
         }
@@ -147,13 +197,17 @@ mod tests {
         let sender = serve(cs, ss, IodParams::default(), move |_sim, reply| {
             r.borrow_mut().push(reply);
         });
-        sender.send(&mut sim, READ_REQ_BYTES, IodRequest::Read { len: 65_536 });
-        sender.send(&mut sim, 65_536, IodRequest::Write { len: 65_536 });
+        sender.send(
+            &mut sim,
+            READ_REQ_BYTES,
+            IodRequest::Read { op: 1, len: 65_536 },
+        );
+        sender.send(&mut sim, 65_536, IodRequest::Write { op: 2, len: 65_536 });
         sim.run();
         let replies = replies.borrow();
         assert_eq!(replies.len(), 2);
-        assert_eq!(replies[0], IodReply::Data { len: 65_536 });
-        assert_eq!(replies[1], IodReply::Ack);
+        assert_eq!(replies[0], IodReply::Data { op: 1, len: 65_536 });
+        assert_eq!(replies[1], IodReply::Ack { op: 2 });
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub enum Category {
     Request,
     /// File-system I/O operations (PVFS reads/writes/opens).
     Io,
+    /// Injected faults and the recovery they trigger (drops, retransmits,
+    /// timeouts, failovers).
+    Fault,
     /// Simulator engine events (very high volume; off in `enabled()`).
     Sim,
     /// Anything else.
@@ -38,7 +41,7 @@ pub enum Category {
 
 impl Category {
     /// All categories, in display order.
-    pub const ALL: [Category; 9] = [
+    pub const ALL: [Category; 10] = [
         Category::Interrupt,
         Category::Protocol,
         Category::Copy,
@@ -46,6 +49,7 @@ impl Category {
         Category::App,
         Category::Request,
         Category::Io,
+        Category::Fault,
         Category::Sim,
         Category::Other,
     ];
@@ -60,6 +64,7 @@ impl Category {
             Category::App => "app",
             Category::Request => "request",
             Category::Io => "io",
+            Category::Fault => "fault",
             Category::Sim => "sim",
             Category::Other => "other",
         }

@@ -10,12 +10,15 @@
 //! * [`datacenter`] — multi-tier data-center application domain.
 //! * [`pvfs`] — parallel virtual file system application domain.
 //! * [`telemetry`] — sim-time tracing, metrics and Chrome-trace export.
+//! * [`faults`] — deterministic fault injection (loss, overflow, crash
+//!   windows) and the retry/failover policies the stack recovers with.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and per-experiment index.
 
 pub use ioat_core as core;
 pub use ioat_datacenter as datacenter;
+pub use ioat_faults as faults;
 pub use ioat_memsim as memsim;
 pub use ioat_netsim as netsim;
 pub use ioat_pvfs as pvfs;
