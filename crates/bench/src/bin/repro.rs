@@ -3,19 +3,24 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--list] [--quick] [--trace <path>] [target ...]
+//! repro [--list] [--quick] [--jobs N] [--json <path>] [--trace <path>] [target ...]
 //! ```
 //!
 //! With no targets (or `all`) every figure runs. `--list` prints the
 //! known targets with one-line descriptions. `--quick` uses short
 //! measurement windows (for smoke tests); the default windows match
-//! `EXPERIMENTS.md`. `--trace <path>` runs the Fig. 7 configuration with
-//! the telemetry tracer on, prints the per-category CPU split-up and
-//! writes a Perfetto-loadable Chrome trace to `<path>` (and then exits
-//! unless figures were also requested). Unknown targets exit with
-//! status 2 and suggest the closest known name.
+//! `EXPERIMENTS.md`. `--jobs N` sets the sweep-executor worker count
+//! (default: available parallelism; results are bit-identical at any
+//! count). `--json <path>` additionally writes every figure's rows and
+//! wall-clock timings as a machine-readable report. `--trace <path>`
+//! runs the Fig. 7 configuration with the telemetry tracer on, prints
+//! the per-category CPU split-up and writes a Perfetto-loadable Chrome
+//! trace to `<path>` (and then exits unless figures were also
+//! requested). Unknown flags and unknown targets exit with status 2 and
+//! suggest the closest known name.
 
 use ioat_bench as figs;
+use ioat_bench::report::{self, RunMeta};
 use ioat_core::metrics::ExperimentWindow;
 
 /// Every runnable target, with the one-line description `--list` prints.
@@ -46,65 +51,8 @@ const TARGETS: &[(&str, &str)] = &[
     ),
 ];
 
-fn run_target(name: &str, window: ExperimentWindow) {
-    match name {
-        "fig3a" => {
-            figs::fig3a(window);
-        }
-        "fig3b" => {
-            figs::fig3b(window);
-        }
-        "fig4" => {
-            figs::fig4(window);
-        }
-        "fig5a" => {
-            figs::fig5a(window);
-        }
-        "fig5b" => {
-            figs::fig5b(window);
-        }
-        "fig6" => {
-            figs::fig6();
-        }
-        "fig7" => {
-            figs::fig7(window);
-        }
-        "fig8a" => {
-            figs::fig8a(window);
-        }
-        "fig8b" => {
-            figs::fig8b(window);
-        }
-        "fig9" => {
-            figs::fig9(window);
-        }
-        "fig10a" => {
-            figs::fig10a(window);
-        }
-        "fig10b" => {
-            figs::fig10b(window);
-        }
-        "fig11a" => {
-            figs::fig11a(window);
-        }
-        "fig11b" => {
-            figs::fig11b(window);
-        }
-        "fig12" => {
-            figs::fig12(window);
-        }
-        "abl-mq" => {
-            figs::ablation_multiqueue(window);
-        }
-        "abl-copy" => {
-            figs::ablation_async_memcpy();
-        }
-        "abl-faults" => {
-            figs::ablation_faults(window);
-        }
-        _ => unreachable!("targets are validated before dispatch"),
-    }
-}
+/// Every flag the parser accepts, for "did you mean" on unknown flags.
+const FLAGS: &[&str] = &["--list", "--quick", "--jobs", "--json", "--trace"];
 
 /// Classic dynamic-programming edit distance, for "did you mean".
 fn edit_distance(a: &str, b: &str) -> usize {
@@ -121,13 +69,12 @@ fn edit_distance(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
-fn closest_target(name: &str) -> &'static str {
-    TARGETS
-        .iter()
-        .map(|(t, _)| (*t, edit_distance(name, t)))
+fn closest<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> &'a str {
+    candidates
+        .map(|t| (t, edit_distance(name, t)))
         .min_by_key(|(_, d)| *d)
         .map(|(t, _)| t)
-        .expect("TARGETS is non-empty")
+        .expect("candidate list is non-empty")
 }
 
 fn print_list() {
@@ -137,63 +84,141 @@ fn print_list() {
     }
 }
 
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: repro [--list] [--quick] [--jobs N] [--json <path>] [--trace <path>] [target ...]"
+    );
+    std::process::exit(2);
+}
+
+/// Parsed command line.
+struct Cli {
+    list: bool,
+    quick: bool,
+    jobs: usize,
+    json_path: Option<String>,
+    trace_path: Option<String>,
+    targets: Vec<String>,
+}
+
+/// Parses args strictly: every `--` token must be a known flag (exit 2
+/// with a did-you-mean otherwise), value flags consume exactly one value
+/// and reject repetition — a second `--trace` previously shadowed its
+/// path into the target list and produced a baffling "unknown target"
+/// error.
+fn parse_cli(args: Vec<String>) -> Cli {
+    let mut cli = Cli {
+        list: false,
+        quick: false,
+        jobs: figs::sweep::default_jobs(),
+        json_path: None,
+        trace_path: None,
+        targets: Vec::new(),
+    };
+    let mut jobs_seen = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => cli.list = true,
+            "--quick" => cli.quick = true,
+            "--jobs" => {
+                if jobs_seen {
+                    die("--jobs given more than once");
+                }
+                jobs_seen = true;
+                let val = it
+                    .next()
+                    .unwrap_or_else(|| die("--jobs needs a worker count"));
+                cli.jobs = match val.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => die(&format!("--jobs needs a positive integer, got '{val}'")),
+                };
+            }
+            "--json" => {
+                if cli.json_path.is_some() {
+                    die("--json given more than once");
+                }
+                cli.json_path = Some(it.next().unwrap_or_else(|| die("--json needs a path")));
+            }
+            "--trace" => {
+                if cli.trace_path.is_some() {
+                    die("--trace given more than once");
+                }
+                cli.trace_path = Some(it.next().unwrap_or_else(|| die("--trace needs a path")));
+            }
+            flag if flag.starts_with("--") => {
+                die(&format!(
+                    "unknown flag '{flag}' — did you mean '{}'?",
+                    closest(flag, FLAGS.iter().copied())
+                ));
+            }
+            _ => cli.targets.push(arg),
+        }
+    }
+    cli
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--list") {
+    let cli = parse_cli(std::env::args().skip(1).collect());
+    if cli.list {
         print_list();
         return;
     }
-    let quick = args.iter().any(|a| a == "--quick");
-    let window = if quick {
+    let window = if cli.quick {
         ExperimentWindow::quick()
     } else {
         ExperimentWindow::standard()
     };
-    let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("error: --trace needs a path argument");
-            std::process::exit(2);
-        })
-    });
-    let mut skip_next = false;
-    let which: Vec<&str> = args
-        .iter()
-        .filter(|a| {
-            if skip_next {
-                skip_next = false;
-                return false;
-            }
-            if *a == "--trace" {
-                skip_next = true;
-                return false;
-            }
-            !a.starts_with("--")
-        })
-        .map(String::as_str)
-        .collect();
 
     // Validate every requested target before running anything.
-    for name in &which {
-        if *name != "all" && !TARGETS.iter().any(|(t, _)| t == name) {
+    for name in &cli.targets {
+        if name != "all" && !TARGETS.iter().any(|(t, _)| t == name) {
             eprintln!(
                 "error: unknown target '{name}' — did you mean '{}'?",
-                closest_target(name)
+                closest(name, TARGETS.iter().map(|(t, _)| *t))
             );
             eprintln!("use --list to see all targets");
             std::process::exit(2);
         }
     }
 
-    if let Some(path) = trace_path {
-        figs::trace_fig7(window, std::path::Path::new(&path));
-        if which.is_empty() {
+    if let Some(path) = &cli.trace_path {
+        // Tracing is single-threaded by design; it never uses the pool.
+        figs::trace_fig7(window, std::path::Path::new(path));
+        if cli.targets.is_empty() && cli.json_path.is_none() {
             return;
         }
     }
-    let all = which.is_empty() || which.contains(&"all");
+
+    let start = std::time::Instant::now();
+    let all = cli.targets.is_empty() || cli.targets.iter().any(|t| t == "all");
+    let mut results = Vec::new();
     for (name, _) in TARGETS {
-        if all || which.contains(name) {
-            run_target(name, window);
+        if all || cli.targets.iter().any(|t| t == name) {
+            let fig =
+                figs::run_figure(name, window, cli.jobs).expect("TARGETS only lists known figures");
+            figs::render(&fig);
+            results.push(fig);
         }
+    }
+    let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    if let Some(path) = &cli.json_path {
+        let meta = RunMeta {
+            quick: cli.quick,
+            jobs: cli.jobs,
+            total_wall_ms,
+        };
+        let doc = report::render_json(&meta, &results);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "\nwrote {path} ({} figures, {total_wall_ms:.0} ms total, {} jobs)",
+            results.len(),
+            cli.jobs
+        );
     }
 }

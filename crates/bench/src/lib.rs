@@ -1,24 +1,31 @@
 //! Figure runners shared by the `repro` binary and the self-timing benches.
 //!
-//! One public function per table/figure of the paper's evaluation
-//! section; each prints the same rows/series the paper reports and
-//! returns them for programmatic use. See `DESIGN.md` §4 for the
-//! experiment index and `EXPERIMENTS.md` for paper-vs-measured records.
+//! One public builder per table/figure of the paper's evaluation section;
+//! each is a *pure* function returning a [`FigureResult`] — no printing.
+//! Every builder fans its independent configuration points across the
+//! [`sweep`] thread pool (`jobs` workers), and [`render`] turns the result
+//! into the table the paper reports. [`report::render_json`] serializes a
+//! whole run for machine consumption (`repro --json`). See `DESIGN.md` §4
+//! for the experiment index and `EXPERIMENTS.md` for paper-vs-measured
+//! records.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod microtime;
+pub mod report;
+pub mod sweep;
 
 use ioat_core::metrics::ExperimentWindow;
 use ioat_core::microbench::{bandwidth, bidirectional, copybench, multistream, sockopts, splitup};
-use ioat_core::IoatConfig;
+use ioat_core::{IoatConfig, SocketOpts};
 use ioat_datacenter::emulated::{self, EmulatedConfig};
 use ioat_datacenter::tiers::{self, DataCenterConfig};
 use ioat_pvfs::harness::{concurrent_read, concurrent_write, multi_stream_read, PvfsConfig};
 
 /// A generic labelled comparison row printed by every figure runner.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Row {
     /// X-axis label (ports, threads, message size, trace, α, ...).
     pub label: String,
@@ -52,36 +59,212 @@ impl Row {
     }
 }
 
-fn print_rows(title: &str, unit: &str, rows: &[Row]) {
-    println!("\n=== {title} ===");
-    println!(
-        "{:<16} {:>12} {:>12} {:>8} | {:>9} {:>9} {:>8}",
-        "x",
-        format!("non [{unit}]"),
-        format!("ioat [{unit}]"),
-        "tput+%",
-        "non-cpu%",
-        "ioat-cpu%",
-        "cpu-ben%"
-    );
-    for r in rows {
-        println!(
-            "{:<16} {:>12.0} {:>12.0} {:>8.1} | {:>9.1} {:>9.1} {:>8.1}",
-            r.label,
-            r.non_ioat,
-            r.ioat,
-            r.improvement() * 100.0,
-            r.non_cpu * 100.0,
-            r.ioat_cpu * 100.0,
-            r.cpu_benefit() * 100.0
-        );
+/// One row of the Ablation A2 pinning-cost sensitivity table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PinningRow {
+    /// Copied bytes.
+    pub size: u64,
+    /// Total user-level DMA copy cost (µs) at 25 ns / 250 ns / 1 µs
+    /// per-page pinning.
+    pub pin_us: [f64; 3],
+}
+
+/// The rows of one figure, preserving each table's native shape.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FigureRows {
+    /// The standard 7-column I/OAT vs non-I/OAT comparison.
+    Compare(Vec<Row>),
+    /// The Fig. 6 CPU-copy vs DMA-copy latency table.
+    Copy(Vec<copybench::CopyRow>),
+    /// The Fig. 7 three-configuration feature split-up.
+    Splitup(Vec<splitup::SplitupRow>),
+    /// The Ablation A2 pinning-cost sensitivity table.
+    Pinning(Vec<PinningRow>),
+}
+
+impl FigureRows {
+    /// Number of rows, independent of shape.
+    pub fn len(&self) -> usize {
+        match self {
+            FigureRows::Compare(r) => r.len(),
+            FigureRows::Copy(r) => r.len(),
+            FigureRows::Splitup(r) => r.len(),
+            FigureRows::Pinning(r) => r.len(),
+        }
+    }
+
+    /// True when the figure produced no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
+/// The complete, machine-readable result of one figure run.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FigureResult {
+    /// Target id (`fig3a`, `abl-faults`, ...).
+    pub name: String,
+    /// Human title, printed as the table heading.
+    pub title: String,
+    /// Primary-metric unit (Mbps / TPS / MB/s / µs).
+    pub unit: String,
+    /// The table body.
+    pub rows: FigureRows,
+    /// Extra renderer lines (recovery counters, failover summaries);
+    /// printed verbatim after the table.
+    pub notes: Vec<String>,
+    /// Wall-clock spent building this figure, in milliseconds. Filled by
+    /// [`run_figure`]; excluded from determinism comparisons.
+    pub wall_ms: f64,
+}
+
+impl FigureResult {
+    fn new(name: &str, title: &str, unit: &str, rows: FigureRows) -> Self {
+        FigureResult {
+            name: name.to_string(),
+            title: title.to_string(),
+            unit: unit.to_string(),
+            rows,
+            notes: Vec::new(),
+            wall_ms: 0.0,
+        }
+    }
+
+    /// The standard comparison rows, or `None` for the specialized
+    /// table shapes.
+    pub fn compare_rows(&self) -> Option<&[Row]> {
+        match &self.rows {
+            FigureRows::Compare(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Prints a [`FigureResult`] as the table the paper reports. This is the
+/// single text renderer: builders never print, so they can run on worker
+/// threads in any order while output stays deterministic.
+pub fn render(fig: &FigureResult) {
+    println!("\n=== {} ===", fig.title);
+    match &fig.rows {
+        FigureRows::Compare(rows) => {
+            let unit = &fig.unit;
+            println!(
+                "{:<16} {:>12} {:>12} {:>8} | {:>9} {:>9} {:>8}",
+                "x",
+                format!("non [{unit}]"),
+                format!("ioat [{unit}]"),
+                "tput+%",
+                "non-cpu%",
+                "ioat-cpu%",
+                "cpu-ben%"
+            );
+            for r in rows {
+                println!(
+                    "{:<16} {:>12.0} {:>12.0} {:>8.1} | {:>9.1} {:>9.1} {:>8.1}",
+                    r.label,
+                    r.non_ioat,
+                    r.ioat,
+                    r.improvement() * 100.0,
+                    r.non_cpu * 100.0,
+                    r.ioat_cpu * 100.0,
+                    r.cpu_benefit() * 100.0
+                );
+            }
+        }
+        FigureRows::Copy(rows) => {
+            println!(
+                "{:<8} {:>12} {:>14} {:>10} {:>13} {:>8}",
+                "size", "copy-cache", "copy-nocache", "DMA-copy", "DMA-overhead", "overlap%"
+            );
+            for r in rows {
+                println!(
+                    "{:<8} {:>12.2} {:>14.2} {:>10.2} {:>13.2} {:>8.1}",
+                    ioat_simcore::time::units::fmt_bytes(r.size),
+                    r.copy_cache_us,
+                    r.copy_nocache_us,
+                    r.dma_copy_us,
+                    r.dma_overhead_us,
+                    r.overlap * 100.0
+                );
+            }
+        }
+        FigureRows::Splitup(rows) => {
+            println!(
+                "{:<8} {:>9} {:>9} {:>9} | {:>8} {:>9} | {:>9} {:>10}",
+                "size", "non", "dma", "split", "dma-cpu%", "split-cpu%", "dma-tput%", "split-tput%"
+            );
+            for r in rows {
+                println!(
+                    "{:<8} {:>9.0} {:>9.0} {:>9.0} | {:>8.1} {:>9.1} | {:>9.1} {:>10.1}",
+                    ioat_simcore::time::units::fmt_bytes(r.msg_size),
+                    r.non_ioat.mbps,
+                    r.ioat_dma.mbps,
+                    r.ioat_split.mbps,
+                    r.dma_cpu_benefit() * 100.0,
+                    r.split_cpu_benefit() * 100.0,
+                    r.dma_throughput_benefit() * 100.0,
+                    r.split_throughput_benefit() * 100.0
+                );
+            }
+        }
+        FigureRows::Pinning(rows) => {
+            println!(
+                "{:<10} {:>14} {:>14} {:>14}",
+                "size", "pin=25ns/page", "pin=250ns/page", "pin=1us/page"
+            );
+            for r in rows {
+                println!(
+                    "{:<10} {:>14.2} {:>14.2} {:>14.2}",
+                    ioat_simcore::time::units::fmt_bytes(r.size),
+                    r.pin_us[0],
+                    r.pin_us[1],
+                    r.pin_us[2]
+                );
+            }
+        }
+    }
+    for note in &fig.notes {
+        println!("{note}");
+    }
+}
+
+/// Builds the standard ports/threads/clients comparison figure by
+/// fanning one job per point across `jobs` workers.
+fn compare_figure<P, F>(
+    name: &str,
+    title: &str,
+    unit: &str,
+    points: Vec<P>,
+    jobs: usize,
+    point_fn: F,
+) -> FigureResult
+where
+    P: Send,
+    F: Fn(P) -> Row + Send + Sync,
+{
+    let point_fn = &point_fn;
+    let rows = sweep::run_jobs(
+        points
+            .into_iter()
+            .map(|p| move || point_fn(p))
+            .collect::<Vec<_>>(),
+        jobs,
+    );
+    FigureResult::new(name, title, unit, FigureRows::Compare(rows))
+}
+
 /// Fig. 3a — bandwidth vs number of ports.
-pub fn fig3a(window: ExperimentWindow) -> Vec<Row> {
-    let rows: Vec<Row> = (1..=6)
-        .map(|ports| {
+pub fn fig3a(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    compare_figure(
+        "fig3a",
+        "Fig 3a: Bandwidth (Mbps) vs ports",
+        "Mbps",
+        (1..=6).collect(),
+        jobs,
+        move |ports| {
             let mut cfg = bandwidth::BandwidthConfig::paper(ports);
             cfg.window = window;
             let c = bandwidth::compare(&cfg);
@@ -92,16 +275,19 @@ pub fn fig3a(window: ExperimentWindow) -> Vec<Row> {
                 non_cpu: c.non_ioat.rx_cpu,
                 ioat_cpu: c.ioat.rx_cpu,
             }
-        })
-        .collect();
-    print_rows("Fig 3a: Bandwidth (Mbps) vs ports", "Mbps", &rows);
-    rows
+        },
+    )
 }
 
 /// Fig. 3b — bi-directional bandwidth vs number of ports.
-pub fn fig3b(window: ExperimentWindow) -> Vec<Row> {
-    let rows: Vec<Row> = (1..=6)
-        .map(|ports| {
+pub fn fig3b(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    compare_figure(
+        "fig3b",
+        "Fig 3b: Bi-directional bandwidth (Mbps) vs ports",
+        "Mbps",
+        (1..=6).collect(),
+        jobs,
+        move |ports| {
             let mut cfg = bidirectional::BidirConfig::paper(ports);
             cfg.window = window;
             let c = bidirectional::compare(&cfg);
@@ -112,21 +298,19 @@ pub fn fig3b(window: ExperimentWindow) -> Vec<Row> {
                 non_cpu: c.non_ioat.rx_cpu,
                 ioat_cpu: c.ioat.rx_cpu,
             }
-        })
-        .collect();
-    print_rows(
-        "Fig 3b: Bi-directional bandwidth (Mbps) vs ports",
-        "Mbps",
-        &rows,
-    );
-    rows
+        },
+    )
 }
 
 /// Fig. 4 — multi-stream bandwidth vs thread count.
-pub fn fig4(window: ExperimentWindow) -> Vec<Row> {
-    let rows: Vec<Row> = [1usize, 2, 4, 6, 8, 10, 12]
-        .into_iter()
-        .map(|threads| {
+pub fn fig4(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    compare_figure(
+        "fig4",
+        "Fig 4: Multi-stream bandwidth (Mbps) vs threads",
+        "Mbps",
+        vec![1usize, 2, 4, 6, 8, 10, 12],
+        jobs,
+        move |threads| {
             let mut cfg = multistream::MultiStreamConfig::paper(threads);
             cfg.window = window;
             let c = multistream::compare(&cfg);
@@ -137,116 +321,108 @@ pub fn fig4(window: ExperimentWindow) -> Vec<Row> {
                 non_cpu: c.non_ioat.rx_cpu,
                 ioat_cpu: c.ioat.rx_cpu,
             }
-        })
-        .collect();
-    print_rows(
-        "Fig 4: Multi-stream bandwidth (Mbps) vs threads",
+        },
+    )
+}
+
+fn sockopt_fig(
+    name: &str,
+    title: &str,
+    window: ExperimentWindow,
+    jobs: usize,
+    bidirectional: bool,
+) -> FigureResult {
+    let cfg = sockopts::SweepConfig { ports: 6, window };
+    compare_figure(
+        name,
+        title,
         "Mbps",
-        &rows,
-    );
-    rows
+        SocketOpts::all_cases().to_vec(),
+        jobs,
+        move |(label, opts)| {
+            let r = if bidirectional {
+                sockopts::case_bidirectional(&cfg, label, opts)
+            } else {
+                sockopts::case_bandwidth(&cfg, label, opts)
+            };
+            Row {
+                label: r.case,
+                non_ioat: r.comparison.non_ioat.mbps,
+                ioat: r.comparison.ioat.mbps,
+                non_cpu: r.comparison.non_ioat.rx_cpu,
+                ioat_cpu: r.comparison.ioat.rx_cpu,
+            }
+        },
+    )
 }
 
 /// Fig. 5a — bandwidth under socket-optimization Cases 1–5.
-pub fn fig5a(window: ExperimentWindow) -> Vec<Row> {
-    let cfg = sockopts::SweepConfig { ports: 6, window };
-    let rows: Vec<Row> = sockopts::sweep_bandwidth(&cfg)
-        .into_iter()
-        .map(|r| Row {
-            label: r.case,
-            non_ioat: r.comparison.non_ioat.mbps,
-            ioat: r.comparison.ioat.mbps,
-            non_cpu: r.comparison.non_ioat.rx_cpu,
-            ioat_cpu: r.comparison.ioat.rx_cpu,
-        })
-        .collect();
-    print_rows(
+pub fn fig5a(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    sockopt_fig(
+        "fig5a",
         "Fig 5a: Bandwidth under optimizations (Mbps)",
-        "Mbps",
-        &rows,
-    );
-    rows
+        window,
+        jobs,
+        false,
+    )
 }
 
 /// Fig. 5b — bi-directional bandwidth under Cases 1–5.
-pub fn fig5b(window: ExperimentWindow) -> Vec<Row> {
-    let cfg = sockopts::SweepConfig { ports: 6, window };
-    let rows: Vec<Row> = sockopts::sweep_bidirectional(&cfg)
-        .into_iter()
-        .map(|r| Row {
-            label: r.case,
-            non_ioat: r.comparison.non_ioat.mbps,
-            ioat: r.comparison.ioat.mbps,
-            non_cpu: r.comparison.non_ioat.rx_cpu,
-            ioat_cpu: r.comparison.ioat.rx_cpu,
-        })
-        .collect();
-    print_rows(
+pub fn fig5b(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    sockopt_fig(
+        "fig5b",
         "Fig 5b: Bi-dir bandwidth under optimizations (Mbps)",
-        "Mbps",
-        &rows,
-    );
-    rows
+        window,
+        jobs,
+        true,
+    )
 }
 
 /// Fig. 6 — CPU copy vs DMA copy (µs, plus overlap).
-pub fn fig6() -> Vec<copybench::CopyRow> {
-    let t = copybench::table();
-    println!("\n=== Fig 6: CPU-based copy vs DMA-based copy ===");
-    println!(
-        "{:<8} {:>12} {:>14} {:>10} {:>13} {:>8}",
-        "size", "copy-cache", "copy-nocache", "DMA-copy", "DMA-overhead", "overlap%"
+pub fn fig6(jobs: usize) -> FigureResult {
+    let rows = sweep::run_jobs(
+        copybench::paper_sizes()
+            .into_iter()
+            .map(|size| move || copybench::row(size))
+            .collect::<Vec<_>>(),
+        jobs,
     );
-    for r in &t {
-        println!(
-            "{:<8} {:>12.2} {:>14.2} {:>10.2} {:>13.2} {:>8.1}",
-            ioat_simcore::time::units::fmt_bytes(r.size),
-            r.copy_cache_us,
-            r.copy_nocache_us,
-            r.dma_copy_us,
-            r.dma_overhead_us,
-            r.overlap * 100.0
-        );
-    }
-    t
+    FigureResult::new(
+        "fig6",
+        "Fig 6: CPU-based copy vs DMA-based copy",
+        "us",
+        FigureRows::Copy(rows),
+    )
 }
 
 /// Fig. 7a/7b — feature split-up across message sizes.
-pub fn fig7(window: ExperimentWindow) -> Vec<splitup::SplitupRow> {
+pub fn fig7(window: ExperimentWindow, jobs: usize) -> FigureResult {
     let cfg = splitup::SplitupConfig { ports: 4, window };
-    let mut out = Vec::new();
-    println!("\n=== Fig 7: I/OAT split-up (4 ports) ===");
-    println!(
-        "{:<8} {:>9} {:>9} {:>9} | {:>8} {:>9} | {:>9} {:>10}",
-        "size", "non", "dma", "split", "dma-cpu%", "split-cpu%", "dma-tput%", "split-tput%"
+    let rows = sweep::run_jobs(
+        splitup::small_sizes()
+            .into_iter()
+            .chain(splitup::large_sizes())
+            .map(|size| move || splitup::row(&cfg, size))
+            .collect::<Vec<_>>(),
+        jobs,
     );
-    for size in splitup::small_sizes()
-        .into_iter()
-        .chain(splitup::large_sizes())
-    {
-        let r = splitup::row(&cfg, size);
-        println!(
-            "{:<8} {:>9.0} {:>9.0} {:>9.0} | {:>8.1} {:>9.1} | {:>9.1} {:>10.1}",
-            ioat_simcore::time::units::fmt_bytes(size),
-            r.non_ioat.mbps,
-            r.ioat_dma.mbps,
-            r.ioat_split.mbps,
-            r.dma_cpu_benefit() * 100.0,
-            r.split_cpu_benefit() * 100.0,
-            r.dma_throughput_benefit() * 100.0,
-            r.split_throughput_benefit() * 100.0
-        );
-        out.push(r);
-    }
-    out
+    FigureResult::new(
+        "fig7",
+        "Fig 7: I/OAT split-up (4 ports)",
+        "Mbps",
+        FigureRows::Splitup(rows),
+    )
 }
 
 /// Fig. 8a — data-center TPS with single-file traces.
-pub fn fig8a(window: ExperimentWindow) -> Vec<Row> {
-    let rows: Vec<Row> = [2u64, 4, 6, 8, 10]
-        .into_iter()
-        .enumerate()
-        .map(|(i, kb)| {
+pub fn fig8a(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    compare_figure(
+        "fig8a",
+        "Fig 8a: Data-center TPS, single-file traces",
+        "TPS",
+        [2u64, 4, 6, 8, 10].into_iter().enumerate().collect(),
+        jobs,
+        move |(i, kb)| {
             let mut non_cfg = DataCenterConfig::paper(IoatConfig::disabled());
             non_cfg.window = window;
             let mut ioat_cfg = non_cfg.clone();
@@ -260,17 +436,19 @@ pub fn fig8a(window: ExperimentWindow) -> Vec<Row> {
                 non_cpu: non.proxy_cpu,
                 ioat_cpu: ioat.proxy_cpu,
             }
-        })
-        .collect();
-    print_rows("Fig 8a: Data-center TPS, single-file traces", "TPS", &rows);
-    rows
+        },
+    )
 }
 
 /// Fig. 8b — data-center TPS with Zipf traces.
-pub fn fig8b(window: ExperimentWindow) -> Vec<Row> {
-    let rows: Vec<Row> = [0.95, 0.90, 0.75, 0.50]
-        .into_iter()
-        .map(|alpha| {
+pub fn fig8b(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    compare_figure(
+        "fig8b",
+        "Fig 8b: Data-center TPS, Zipf traces",
+        "TPS",
+        vec![0.95, 0.90, 0.75, 0.50],
+        jobs,
+        move |alpha| {
             let mut non_cfg = DataCenterConfig::paper(IoatConfig::disabled());
             non_cfg.window = window;
             non_cfg.proxy_cache_bytes = 512 << 20;
@@ -287,17 +465,19 @@ pub fn fig8b(window: ExperimentWindow) -> Vec<Row> {
                 non_cpu: non.proxy_cpu,
                 ioat_cpu: ioat.proxy_cpu,
             }
-        })
-        .collect();
-    print_rows("Fig 8b: Data-center TPS, Zipf traces", "TPS", &rows);
-    rows
+        },
+    )
 }
 
 /// Fig. 9 — emulated clients inside the data-center (16 K file).
-pub fn fig9(window: ExperimentWindow) -> Vec<Row> {
-    let rows: Vec<Row> = emulated::paper_thread_counts()
-        .into_iter()
-        .map(|threads| {
+pub fn fig9(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    compare_figure(
+        "fig9",
+        "Fig 9: Emulated clients, 16K file (TPS, client CPU)",
+        "TPS",
+        emulated::paper_thread_counts(),
+        jobs,
+        move |threads| {
             let mut non_cfg = EmulatedConfig::paper(threads, IoatConfig::disabled());
             non_cfg.window = window;
             let mut ioat_cfg = non_cfg;
@@ -311,19 +491,25 @@ pub fn fig9(window: ExperimentWindow) -> Vec<Row> {
                 non_cpu: non.client_cpu,
                 ioat_cpu: ioat.client_cpu,
             }
-        })
-        .collect();
-    print_rows(
-        "Fig 9: Emulated clients, 16K file (TPS, client CPU)",
-        "TPS",
-        &rows,
-    );
-    rows
+        },
+    )
 }
 
-fn pvfs_fig(title: &str, io_servers: usize, write: bool, window: ExperimentWindow) -> Vec<Row> {
-    let rows: Vec<Row> = (1..=6)
-        .map(|clients| {
+fn pvfs_fig(
+    name: &str,
+    title: &str,
+    io_servers: usize,
+    write: bool,
+    window: ExperimentWindow,
+    jobs: usize,
+) -> FigureResult {
+    compare_figure(
+        name,
+        title,
+        "MB/s",
+        (1..=6).collect(),
+        jobs,
+        move |clients| {
             let mut non_cfg = PvfsConfig::paper(io_servers, clients, IoatConfig::disabled());
             non_cfg.window = window;
             let mut ioat_cfg = non_cfg.clone();
@@ -347,57 +533,67 @@ fn pvfs_fig(title: &str, io_servers: usize, write: bool, window: ExperimentWindo
                 non_cpu: ncpu,
                 ioat_cpu: icpu,
             }
-        })
-        .collect();
-    print_rows(title, "MB/s", &rows);
-    rows
+        },
+    )
 }
 
 /// Fig. 10a — PVFS concurrent read, 6 I/O servers.
-pub fn fig10a(window: ExperimentWindow) -> Vec<Row> {
+pub fn fig10a(window: ExperimentWindow, jobs: usize) -> FigureResult {
     pvfs_fig(
+        "fig10a",
         "Fig 10a: PVFS concurrent read, 6 I/O servers",
         6,
         false,
         window,
+        jobs,
     )
 }
 
 /// Fig. 10b — PVFS concurrent read, 5 I/O servers.
-pub fn fig10b(window: ExperimentWindow) -> Vec<Row> {
+pub fn fig10b(window: ExperimentWindow, jobs: usize) -> FigureResult {
     pvfs_fig(
+        "fig10b",
         "Fig 10b: PVFS concurrent read, 5 I/O servers",
         5,
         false,
         window,
+        jobs,
     )
 }
 
 /// Fig. 11a — PVFS concurrent write, 6 I/O servers.
-pub fn fig11a(window: ExperimentWindow) -> Vec<Row> {
+pub fn fig11a(window: ExperimentWindow, jobs: usize) -> FigureResult {
     pvfs_fig(
+        "fig11a",
         "Fig 11a: PVFS concurrent write, 6 I/O servers",
         6,
         true,
         window,
+        jobs,
     )
 }
 
 /// Fig. 11b — PVFS concurrent write, 5 I/O servers.
-pub fn fig11b(window: ExperimentWindow) -> Vec<Row> {
+pub fn fig11b(window: ExperimentWindow, jobs: usize) -> FigureResult {
     pvfs_fig(
+        "fig11b",
         "Fig 11b: PVFS concurrent write, 5 I/O servers",
         5,
         true,
         window,
+        jobs,
     )
 }
 
 /// Fig. 12 — PVFS multi-stream read, 1–64 emulated clients.
-pub fn fig12(window: ExperimentWindow) -> Vec<Row> {
-    let rows: Vec<Row> = [1usize, 2, 4, 8, 16, 32, 64]
-        .into_iter()
-        .map(|threads| {
+pub fn fig12(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    compare_figure(
+        "fig12",
+        "Fig 12: PVFS multi-stream read (client CPU)",
+        "MB/s",
+        vec![1usize, 2, 4, 8, 16, 32, 64],
+        jobs,
+        move |threads| {
             let mut non_cfg = PvfsConfig::paper(6, 1, IoatConfig::disabled());
             non_cfg.window = window;
             let mut ioat_cfg = non_cfg.clone();
@@ -411,18 +607,20 @@ pub fn fig12(window: ExperimentWindow) -> Vec<Row> {
                 non_cpu: non.client_cpu,
                 ioat_cpu: ioat.client_cpu,
             }
-        })
-        .collect();
-    print_rows("Fig 12: PVFS multi-stream read (client CPU)", "MB/s", &rows);
-    rows
+        },
+    )
 }
 
 /// Ablation A1 — the multi-queue feature the paper could not measure
 /// (§2.2.3): multi-stream bandwidth with interrupts spread across cores.
-pub fn ablation_multiqueue(window: ExperimentWindow) -> Vec<Row> {
-    let rows: Vec<Row> = [4usize, 8, 12]
-        .into_iter()
-        .map(|threads| {
+pub fn ablation_multiqueue(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    compare_figure(
+        "abl-mq",
+        "Ablation A1: I/OAT vs I/OAT+multi-queue (Mbps)",
+        "Mbps",
+        vec![4usize, 8, 12],
+        jobs,
+        move |threads| {
             let mut cfg = multistream::MultiStreamConfig::paper(threads);
             cfg.window = window;
             let base = multistream::run(&cfg, IoatConfig::full());
@@ -434,48 +632,42 @@ pub fn ablation_multiqueue(window: ExperimentWindow) -> Vec<Row> {
                 non_cpu: base.rx_cpu,
                 ioat_cpu: mq.rx_cpu,
             }
-        })
-        .collect();
-    print_rows(
-        "Ablation A1: I/OAT vs I/OAT+multi-queue (Mbps)",
-        "Mbps",
-        &rows,
-    );
-    rows
+        },
+    )
 }
 
 /// Ablation A2 — user-level asynchronous memcpy (§7/§8 future work):
 /// where the pinning cost makes the copy engine unattractive.
-pub fn ablation_async_memcpy() -> Vec<copybench::CopyRow> {
+pub fn ablation_async_memcpy(jobs: usize) -> FigureResult {
     use ioat_memsim::{AddressAllocator, DmaConfig, DmaEngine, DmaRequest};
-    println!("\n=== Ablation A2: user-level async memcpy, pinning-cost sensitivity ===");
-    println!(
-        "{:<10} {:>14} {:>14} {:>14}",
-        "size", "pin=25ns/page", "pin=250ns/page", "pin=1us/page"
+    let rows = sweep::run_jobs(
+        copybench::paper_sizes()
+            .into_iter()
+            .map(|size| {
+                move || {
+                    let mut pin_us = [0.0f64; 3];
+                    for (slot, pin_ns) in pin_us.iter_mut().zip([25u64, 250, 1_000]) {
+                        let cfg = DmaConfig {
+                            pin_per_page: ioat_simcore::SimDuration::from_nanos(pin_ns),
+                            ..DmaConfig::default()
+                        };
+                        let engine = DmaEngine::new(cfg, None);
+                        let mut alloc = AddressAllocator::new();
+                        let req = DmaRequest::new(alloc.alloc(size), alloc.alloc(size));
+                        *slot = engine.total_cost(&req).as_micros_f64();
+                    }
+                    PinningRow { size, pin_us }
+                }
+            })
+            .collect::<Vec<_>>(),
+        jobs,
     );
-    let mut out = Vec::new();
-    for size in copybench::paper_sizes() {
-        let mut cols = Vec::new();
-        for pin_ns in [25u64, 250, 1_000] {
-            let cfg = DmaConfig {
-                pin_per_page: ioat_simcore::SimDuration::from_nanos(pin_ns),
-                ..DmaConfig::default()
-            };
-            let engine = DmaEngine::new(cfg, None);
-            let mut alloc = AddressAllocator::new();
-            let req = DmaRequest::new(alloc.alloc(size), alloc.alloc(size));
-            cols.push(engine.total_cost(&req).as_micros_f64());
-        }
-        println!(
-            "{:<10} {:>14.2} {:>14.2} {:>14.2}",
-            ioat_simcore::time::units::fmt_bytes(size),
-            cols[0],
-            cols[1],
-            cols[2]
-        );
-        out.push(copybench::row(size));
-    }
-    out
+    FigureResult::new(
+        "abl-copy",
+        "Ablation A2: user-level async memcpy, pinning-cost sensitivity",
+        "us",
+        FigureRows::Pinning(rows),
+    )
 }
 
 /// Ablation A3 — deterministic fault injection (`ioat-faults`).
@@ -486,44 +678,42 @@ pub fn ablation_async_memcpy() -> Vec<copybench::CopyRow> {
 /// the I/OAT receive-side CPU advantage persists because retransmitted
 /// bytes are re-charged through the same receive cost model. Part 2
 /// crashes one of two PVFS I/O daemons for a third of the run and shows
-/// the client deadline/failover machinery keeping data flowing.
-pub fn ablation_faults(window: ExperimentWindow) -> Vec<Row> {
+/// the client deadline/failover machinery keeping data flowing; its
+/// summary lands in [`FigureResult::notes`].
+pub fn ablation_faults(window: ExperimentWindow, jobs: usize) -> FigureResult {
     use ioat_faults::{CrashWindow, FaultPlan, TimeWindow};
     use ioat_simcore::{SimDuration, SimTime};
 
-    let mut rows = Vec::new();
-    println!("\n=== Ablation A3a: frame loss vs throughput/CPU (2 ports) ===");
-    println!(
-        "{:<10} {:>10} {:>10} {:>9} {:>9} | {:>8} {:>8} {:>8}",
-        "loss", "non[Mbps]", "ioat[Mbps]", "non-cpu%", "ioat-cpu%", "drops", "retx", "rto"
-    );
-    for p in [0.0, 1e-5, 1e-4, 1e-3] {
-        let mut cfg = bandwidth::BandwidthConfig::paper(2);
-        cfg.window = window;
-        let plan = FaultPlan::bernoulli_loss(0xFA017, p);
-        let non = bandwidth::run_with_faults(&cfg, IoatConfig::disabled(), &plan);
-        let ioat = bandwidth::run_with_faults(&cfg, IoatConfig::full(), &plan);
-        println!(
-            "{:<10} {:>10.0} {:>10.0} {:>9.1} {:>9.1} | {:>8} {:>8} {:>8}",
-            format!("{p:.0e}"),
-            non.throughput.mbps,
-            ioat.throughput.mbps,
-            non.throughput.rx_cpu * 100.0,
-            ioat.throughput.rx_cpu * 100.0,
-            non.frames_dropped + ioat.frames_dropped,
-            non.retransmits + ioat.retransmits,
-            non.rto_timeouts + ioat.rto_timeouts,
-        );
-        rows.push(Row {
-            label: format!("loss={p:.0e}"),
-            non_ioat: non.throughput.mbps,
-            ioat: ioat.throughput.mbps,
-            non_cpu: non.throughput.rx_cpu,
-            ioat_cpu: ioat.throughput.rx_cpu,
-        });
-    }
+    let point_jobs: Vec<_> = [0.0, 1e-5, 1e-4, 1e-3]
+        .into_iter()
+        .map(|p| {
+            move || {
+                let mut cfg = bandwidth::BandwidthConfig::paper(2);
+                cfg.window = window;
+                let plan = FaultPlan::bernoulli_loss(0xFA017, p);
+                let non = bandwidth::run_with_faults(&cfg, IoatConfig::disabled(), &plan);
+                let ioat = bandwidth::run_with_faults(&cfg, IoatConfig::full(), &plan);
+                let row = Row {
+                    label: format!("loss={p:.0e}"),
+                    non_ioat: non.throughput.mbps,
+                    ioat: ioat.throughput.mbps,
+                    non_cpu: non.throughput.rx_cpu,
+                    ioat_cpu: ioat.throughput.rx_cpu,
+                };
+                let note = format!(
+                    "  loss={p:<7.0e} drops {:>6}  retx {:>6}  rto {:>4}",
+                    non.frames_dropped + ioat.frames_dropped,
+                    non.retransmits + ioat.retransmits,
+                    non.rto_timeouts + ioat.rto_timeouts,
+                );
+                (row, note)
+            }
+        })
+        .collect();
+    let (rows, mut notes): (Vec<Row>, Vec<String>) =
+        sweep::run_jobs(point_jobs, jobs).into_iter().unzip();
 
-    println!("\n=== Ablation A3b: PVFS I/O-daemon crash + failover (2 servers) ===");
+    // Part 2: PVFS I/O-daemon crash + failover, clean vs crashed run.
     let to = window.to();
     let mut crashed = PvfsConfig::quick_test(2, 2, IoatConfig::disabled());
     crashed.window = window;
@@ -537,27 +727,67 @@ pub fn ablation_faults(window: ExperimentWindow) -> Vec<Row> {
     crashed.retry.timeout = SimDuration::from_nanos((to.as_nanos() / 30).max(1_000_000));
     let mut clean = PvfsConfig::quick_test(2, 2, IoatConfig::disabled());
     clean.window = window;
-    let c = concurrent_read(&clean);
-    let f = concurrent_read(&crashed);
-    println!(
-        "clean   {:>8.0} MB/s\ncrashed {:>8.0} MB/s  (drops {}, timeouts {}, retries {}, \
-         failovers {}, stale {}, failed {})",
-        c.mbytes_per_sec,
-        f.mbytes_per_sec,
-        f.daemon_drops,
-        f.timeouts,
-        f.retries,
-        f.failovers,
-        f.stale_replies,
-        f.failed_ops
+    let mut failover = sweep::run_jobs(
+        vec![
+            Box::new(move || concurrent_read(&clean)) as Box<dyn FnOnce() -> _ + Send>,
+            Box::new(move || concurrent_read(&crashed)),
+        ],
+        jobs,
     );
-    rows
+    let f = failover.pop().expect("two failover jobs");
+    let c = failover.pop().expect("two failover jobs");
+    notes.push("--- A3b: PVFS I/O-daemon crash + failover (2 servers) ---".to_string());
+    notes.push(format!("  clean   {:>8.0} MB/s", c.mbytes_per_sec));
+    notes.push(format!(
+        "  crashed {:>8.0} MB/s  (drops {}, timeouts {}, retries {}, failovers {}, stale {}, failed {})",
+        f.mbytes_per_sec, f.daemon_drops, f.timeouts, f.retries, f.failovers, f.stale_replies,
+        f.failed_ops
+    ));
+
+    let mut fig = FigureResult::new(
+        "abl-faults",
+        "Ablation A3a: frame loss vs throughput/CPU (2 ports)",
+        "Mbps",
+        FigureRows::Compare(rows),
+    );
+    fig.notes = notes;
+    fig
+}
+
+/// Builds one figure by target name, timing the build. Returns `None`
+/// for an unknown name — the `repro` CLI validates names first.
+pub fn run_figure(name: &str, window: ExperimentWindow, jobs: usize) -> Option<FigureResult> {
+    let start = std::time::Instant::now();
+    let mut fig = match name {
+        "fig3a" => fig3a(window, jobs),
+        "fig3b" => fig3b(window, jobs),
+        "fig4" => fig4(window, jobs),
+        "fig5a" => fig5a(window, jobs),
+        "fig5b" => fig5b(window, jobs),
+        "fig6" => fig6(jobs),
+        "fig7" => fig7(window, jobs),
+        "fig8a" => fig8a(window, jobs),
+        "fig8b" => fig8b(window, jobs),
+        "fig9" => fig9(window, jobs),
+        "fig10a" => fig10a(window, jobs),
+        "fig10b" => fig10b(window, jobs),
+        "fig11a" => fig11a(window, jobs),
+        "fig11b" => fig11b(window, jobs),
+        "fig12" => fig12(window, jobs),
+        "abl-mq" => ablation_multiqueue(window, jobs),
+        "abl-copy" => ablation_async_memcpy(jobs),
+        "abl-faults" => ablation_faults(window, jobs),
+        _ => return None,
+    };
+    fig.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Some(fig)
 }
 
 /// Runs the Fig. 7 configuration with tracing on, prints the per-category
 /// CPU split-up over the measurement window for non-I/OAT and full I/OAT,
 /// and writes the full-I/OAT run as a Perfetto-loadable Chrome trace plus
-/// companion event/metrics CSVs next to it.
+/// companion event/metrics CSVs next to it. Tracing is inherently
+/// single-threaded; this path never uses the sweep pool.
 pub fn trace_fig7(window: ExperimentWindow, path: &std::path::Path) {
     use ioat_telemetry::{cpu_splitup, export, Tracer};
     let cfg = splitup::SplitupConfig { ports: 2, window };
@@ -637,16 +867,21 @@ mod tests {
 
     #[test]
     fn fig6_runner_returns_full_table() {
-        let t = fig6();
+        let fig = fig6(2);
+        let FigureRows::Copy(t) = &fig.rows else {
+            panic!("fig6 produces the copy table");
+        };
         assert_eq!(t.len(), 7);
         assert!(t.iter().all(|r| r.copy_nocache_us > r.copy_cache_us));
+        render(&fig); // smoke: the renderer handles every shape
     }
 
     #[test]
     fn abl_faults_degrades_monotonically_and_keeps_cpu_advantage() {
-        let rows = ablation_faults(ExperimentWindow::quick());
+        let fig = ablation_faults(ExperimentWindow::quick(), 2);
+        let rows = fig.compare_rows().expect("loss sweep is a compare table");
         assert_eq!(rows.len(), 4);
-        for r in &rows {
+        for r in rows {
             assert!(
                 r.ioat_cpu < r.non_cpu,
                 "I/OAT CPU advantage must persist at {}: {:.3} vs {:.3}",
@@ -659,15 +894,28 @@ mod tests {
             rows[3].non_ioat < rows[0].non_ioat && rows[3].ioat < rows[0].ioat,
             "1e-3 loss must cost throughput on both configurations"
         );
+        assert!(
+            fig.notes.iter().any(|n| n.contains("failover")),
+            "A3b summary rides in the notes"
+        );
     }
 
     #[test]
     fn quick_windows_run_a_whole_figure() {
         // Smoke: fig3a at quick windows produces 6 ordered rows.
-        let rows = fig3a(ExperimentWindow::quick());
+        let fig = fig3a(ExperimentWindow::quick(), 2);
+        let rows = fig.compare_rows().expect("fig3a is a compare table");
         assert_eq!(rows.len(), 6);
         for w in rows.windows(2) {
             assert!(w[1].non_ioat > w[0].non_ioat, "bandwidth grows with ports");
         }
+    }
+
+    #[test]
+    fn run_figure_times_and_dispatches() {
+        let fig = run_figure("fig6", ExperimentWindow::quick(), 1).expect("fig6 is known");
+        assert_eq!(fig.name, "fig6");
+        assert!(fig.wall_ms > 0.0);
+        assert!(run_figure("nope", ExperimentWindow::quick(), 1).is_none());
     }
 }

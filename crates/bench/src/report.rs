@@ -1,0 +1,272 @@
+//! Machine-readable run reports (`repro --json`).
+//!
+//! Hand-rolled JSON, same approach as `ioat-telemetry`'s Chrome-trace
+//! exporter: the offline build has no registry serde, and the in-tree
+//! `serde` facade is a no-op stub, so the writer walks [`FigureResult`]s
+//! directly. The document is stable enough to commit (`BENCH_pr3.json`)
+//! and diff across PRs: figures appear in request order, rows in input
+//! order, and every number comes from a deterministic simulation — only
+//! the `*_wall_ms` fields vary between hosts.
+
+use crate::{FigureResult, FigureRows};
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An `f64` as a JSON number. JSON has no NaN/Infinity; those become
+/// `null` rather than corrupting the document.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Header metadata recorded at the top of the document.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Whether `--quick` windows were used.
+    pub quick: bool,
+    /// Worker count the sweep executor ran with.
+    pub jobs: usize,
+    /// Wall-clock for the whole run in milliseconds (all figures,
+    /// including render time).
+    pub total_wall_ms: f64,
+}
+
+/// Renders the full report document for a run's figures.
+pub fn render_json(meta: &RunMeta, figures: &[FigureResult]) -> String {
+    let mut out = String::with_capacity(figures.len() * 2048 + 256);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"ioat-bench/1\",");
+    let _ = writeln!(out, "  \"quick\": {},", meta.quick);
+    let _ = writeln!(out, "  \"jobs\": {},", meta.jobs);
+    let _ = writeln!(out, "  \"total_wall_ms\": {},", num(meta.total_wall_ms));
+    out.push_str("  \"figures\": [");
+    for (i, fig) in figures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&figure_json(fig, "    "));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn figure_json(fig: &FigureResult, indent: &str) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{indent}{{\"name\": \"{}\", \"title\": \"{}\", \"unit\": \"{}\", \
+         \"wall_ms\": {}, \"kind\": \"{}\",\n{indent} \"rows\": [",
+        esc(&fig.name),
+        esc(&fig.title),
+        esc(&fig.unit),
+        num(fig.wall_ms),
+        kind_name(&fig.rows),
+    );
+    let rows: Vec<String> = match &fig.rows {
+        FigureRows::Compare(rows) => rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"label\": \"{}\", \"non_ioat\": {}, \"ioat\": {}, \
+                     \"non_cpu\": {}, \"ioat_cpu\": {}}}",
+                    esc(&r.label),
+                    num(r.non_ioat),
+                    num(r.ioat),
+                    num(r.non_cpu),
+                    num(r.ioat_cpu)
+                )
+            })
+            .collect(),
+        FigureRows::Copy(rows) => rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"size\": {}, \"copy_cache_us\": {}, \"copy_nocache_us\": {}, \
+                     \"dma_copy_us\": {}, \"dma_overhead_us\": {}, \"overlap\": {}}}",
+                    r.size,
+                    num(r.copy_cache_us),
+                    num(r.copy_nocache_us),
+                    num(r.dma_copy_us),
+                    num(r.dma_overhead_us),
+                    num(r.overlap)
+                )
+            })
+            .collect(),
+        FigureRows::Splitup(rows) => rows
+            .iter()
+            .map(|r| {
+                let cfgs = [
+                    ("non_ioat", &r.non_ioat),
+                    ("ioat_dma", &r.ioat_dma),
+                    ("ioat_split", &r.ioat_split),
+                ];
+                let mut obj = format!("{{\"msg_size\": {}", r.msg_size);
+                for (key, t) in cfgs {
+                    let _ = write!(
+                        obj,
+                        ", \"{key}\": {{\"mbps\": {}, \"rx_cpu\": {}, \"tx_cpu\": {}}}",
+                        num(t.mbps),
+                        num(t.rx_cpu),
+                        num(t.tx_cpu)
+                    );
+                }
+                obj.push('}');
+                obj
+            })
+            .collect(),
+        FigureRows::Pinning(rows) => rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"size\": {}, \"pin_us\": [{}, {}, {}]}}",
+                    r.size,
+                    num(r.pin_us[0]),
+                    num(r.pin_us[1]),
+                    num(r.pin_us[2])
+                )
+            })
+            .collect(),
+    };
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n{indent}  {row}");
+    }
+    let _ = write!(out, "\n{indent} ],\n{indent} \"notes\": [");
+    for (i, note) in fig.notes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", esc(note));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn kind_name(rows: &FigureRows) -> &'static str {
+    match rows {
+        FigureRows::Compare(_) => "compare",
+        FigureRows::Copy(_) => "copy",
+        FigureRows::Splitup(_) => "splitup",
+        FigureRows::Pinning(_) => "pinning",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PinningRow, Row};
+
+    /// Minimal structural JSON check: balanced braces/brackets outside
+    /// strings, no unterminated strings, no bare NaN/Infinity tokens.
+    fn assert_well_formed(s: &str) {
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in s.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced structure");
+        }
+        assert_eq!(depth, 0, "balanced document");
+        assert!(!in_str, "no unterminated string");
+        assert!(
+            !s.contains("NaN") && !s.contains("inf"),
+            "no non-JSON numbers"
+        );
+    }
+
+    fn sample_figures() -> Vec<FigureResult> {
+        vec![
+            FigureResult {
+                name: "fig3a".into(),
+                title: "Fig \"3a\"".into(),
+                unit: "Mbps".into(),
+                rows: FigureRows::Compare(vec![Row {
+                    label: "1 port".into(),
+                    non_ioat: 920.0,
+                    ioat: 940.5,
+                    non_cpu: 0.35,
+                    ioat_cpu: f64::NAN,
+                }]),
+                notes: vec!["a \"note\"".into()],
+                wall_ms: 12.5,
+            },
+            FigureResult {
+                name: "abl-copy".into(),
+                title: "Pinning".into(),
+                unit: "us".into(),
+                rows: FigureRows::Pinning(vec![PinningRow {
+                    size: 4096,
+                    pin_us: [1.0, 2.0, 3.0],
+                }]),
+                notes: Vec::new(),
+                wall_ms: 0.1,
+            },
+        ]
+    }
+
+    #[test]
+    fn report_is_well_formed_and_complete() {
+        let meta = RunMeta {
+            quick: true,
+            jobs: 8,
+            total_wall_ms: 99.0,
+        };
+        let doc = render_json(&meta, &sample_figures());
+        assert_well_formed(&doc);
+        assert!(doc.contains("\"schema\": \"ioat-bench/1\""));
+        assert!(doc.contains("\"jobs\": 8"));
+        assert!(doc.contains("\"name\": \"fig3a\""));
+        assert!(doc.contains("\"kind\": \"compare\""));
+        assert!(doc.contains("\"kind\": \"pinning\""));
+        assert!(doc.contains("\"ioat_cpu\": null"), "NaN becomes null");
+        assert!(doc.contains("\"pin_us\": [1, 2, 3]"));
+        assert!(doc.contains("a \\\"note\\\""), "notes are escaped");
+    }
+
+    #[test]
+    fn empty_run_is_well_formed() {
+        let meta = RunMeta {
+            quick: false,
+            jobs: 1,
+            total_wall_ms: 0.0,
+        };
+        assert_well_formed(&render_json(&meta, &[]));
+    }
+}

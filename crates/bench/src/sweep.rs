@@ -1,0 +1,184 @@
+//! The parallel sweep executor.
+//!
+//! Every figure of the paper's evaluation is a grid of *independent*
+//! configuration points (ports × I/OAT on/off, thread counts, Zipf α,
+//! PVFS client counts, ...). Each point is a deterministic
+//! single-threaded simulation — `Sim` is `Rc`-based and never crosses a
+//! thread — but nothing orders one point after another, so the sweep as
+//! a whole parallelizes perfectly. [`run_jobs`] fans a figure's points
+//! across a small `std::thread` pool and reassembles the results in
+//! input order, which keeps the output bit-identical to a sequential
+//! run (asserted by `tests/parallel_determinism.rs`).
+//!
+//! Determinism contract:
+//!
+//! * each job is a pure function of its inputs (every simulation seeds
+//!   its own RNG streams; no job reads global mutable state),
+//! * results are stored at the job's input index, never in completion
+//!   order,
+//! * `workers == 1` runs every job inline on the calling thread — the
+//!   exact sequential behaviour, preserved for `--trace`/telemetry
+//!   paths that rely on single-threaded execution.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: the host's available parallelism, or 1
+/// when the platform cannot report it.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs every job and returns their results **in input order**.
+///
+/// `workers` is clamped to `1..=jobs.len()`; `workers <= 1` (or zero or
+/// one job) degenerates to a plain sequential loop on the calling
+/// thread. Otherwise `workers` scoped threads pull jobs from a shared
+/// cursor — index order, so early rows start first — and write each
+/// result into its input slot.
+///
+/// # Panics
+///
+/// A panic inside any job propagates to the caller after the pool
+/// drains (no result is silently dropped, no thread is leaked — the
+/// panicking worker stops pulling new jobs, the others finish theirs).
+pub fn run_jobs<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if workers <= 1 || n <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let workers = workers.min(n);
+
+    // Jobs move into per-slot cells so each worker can take ownership of
+    // the `FnOnce` it claimed; results land in matching slots.
+    let job_cells: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let result_cells: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let job = job_cells[i]
+                        .lock()
+                        .expect("job mutex never poisoned: taken exactly once")
+                        .take()
+                        .expect("each job index is claimed exactly once");
+                    let out = job();
+                    *result_cells[i]
+                        .lock()
+                        .expect("result mutex never poisoned: written exactly once") = Some(out);
+                })
+            })
+            .collect();
+        // Join explicitly so a job panic reaches the caller with its
+        // original payload (`scope`'s implicit join would replace it with
+        // a generic "a scoped thread panicked").
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+
+    result_cells
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .expect("result mutex never poisoned")
+                .expect("every job slot is filled when no worker panicked")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Jobs deliberately finish out of order (later indices are
+        // cheaper); the output must still follow input order.
+        let jobs: Vec<_> = (0..32u64)
+            .map(|i| {
+                move || {
+                    let mut acc = 0u64;
+                    for k in 0..((32 - i) * 10_000) {
+                        acc = acc.wrapping_add(k ^ i);
+                    }
+                    std::hint::black_box(acc);
+                    i * 2
+                }
+            })
+            .collect();
+        let out = run_jobs(jobs, 8);
+        assert_eq!(out, (0..32u64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let mk = || (0..16u64).map(|i| move || i * i + 1).collect::<Vec<_>>();
+        assert_eq!(run_jobs(mk(), 1), run_jobs(mk(), 7));
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let jobs: Vec<_> = (0..3u32).map(|i| move || i).collect();
+        assert_eq!(run_jobs(jobs, 64), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_sequential() {
+        let jobs: Vec<_> = (0..4u32).map(|i| move || i + 10).collect();
+        assert_eq!(run_jobs(jobs, 0), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn empty_job_list_returns_empty() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = Vec::new();
+        assert!(run_jobs(jobs, 4).is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..8u32)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 5 {
+                        panic!("job 5 exploded");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> u32 + Send>
+            })
+            .collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_jobs(jobs, 4)))
+            .expect_err("the job panic must reach the caller");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("job 5 exploded"), "got panic payload: {msg:?}");
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

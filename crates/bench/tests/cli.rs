@@ -1,0 +1,108 @@
+//! CLI contract tests for the `repro` binary: strict flag parsing,
+//! `--jobs`/`--json` handling, and the exit-2 error paths. Runs the
+//! real binary (`CARGO_BIN_EXE_repro`), so these cover exactly what a
+//! user or the CI pipeline sees.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn unknown_flag_exits_2_with_suggestion() {
+    // Regression: '--josb' used to be silently ignored and the whole
+    // suite ran as if no flag had been passed.
+    let out = repro(&["--josb"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag '--josb'"), "stderr: {err}");
+    assert!(err.contains("--jobs"), "suggests the closest flag: {err}");
+}
+
+#[test]
+fn unknown_target_exits_2_with_suggestion() {
+    let out = repro(&["fig3c"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown target 'fig3c'"), "stderr: {err}");
+    assert!(err.contains("did you mean"), "stderr: {err}");
+}
+
+#[test]
+fn repeated_trace_flag_is_rejected() {
+    // Regression: the second '--trace' left its path in the target list,
+    // producing a baffling "unknown target '/tmp/b.json'" error.
+    let out = repro(&["--trace", "/tmp/a.json", "--trace", "/tmp/b.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--trace given more than once"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn trace_without_path_is_rejected() {
+    let out = repro(&["--trace"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--trace needs a path"));
+}
+
+#[test]
+fn jobs_flag_validates_its_value() {
+    for bad in [&["--jobs"][..], &["--jobs", "0"], &["--jobs", "many"]] {
+        let out = repro(bad);
+        assert_eq!(out.status.code(), Some(2), "args: {bad:?}");
+        assert!(stderr(&out).contains("--jobs"), "args: {bad:?}");
+    }
+    let out = repro(&["--jobs", "2", "--jobs", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("more than once"));
+}
+
+#[test]
+fn list_prints_targets_and_exits_0() {
+    let out = repro(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for target in ["fig3a", "fig12", "abl-faults"] {
+        assert!(text.contains(target), "--list names {target}");
+    }
+}
+
+#[test]
+fn quick_run_with_jobs_and_json_writes_report() {
+    let path = std::env::temp_dir().join("ioat_bench_cli_test.json");
+    let _ = std::fs::remove_file(&path);
+    let out = repro(&[
+        "--quick",
+        "--jobs",
+        "2",
+        "--json",
+        path.to_str().unwrap(),
+        "fig6",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("Fig 6"),
+        "table still renders alongside --json"
+    );
+    let doc = std::fs::read_to_string(&path).expect("report written");
+    assert!(doc.contains("\"schema\": \"ioat-bench/1\""));
+    assert!(doc.contains("\"name\": \"fig6\""));
+    assert!(doc.contains("\"jobs\": 2"));
+    assert!(doc.contains("\"total_wall_ms\""));
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,95 @@
+//! The reproducibility invariant under the parallel sweep executor:
+//! `--jobs 1` and `--jobs 8` must produce bit-identical figure rows.
+//!
+//! Each figure point is an independent single-threaded simulation with
+//! its own seeded RNG streams, and `sweep::run_jobs` reassembles results
+//! at their input index, so worker count must be unobservable in the
+//! output. Exact `==` on every row (f64 bit-compare via PartialEq) —
+//! not approximate — because the project's determinism contract is
+//! bit-level (see `tests/determinism.rs` at the workspace root).
+
+use ioat_bench as figs;
+use ioat_core::metrics::ExperimentWindow;
+
+/// Compares one figure across worker counts. The `rows` and `notes`
+/// must match exactly; `wall_ms` is explicitly excluded (it measures the
+/// host, not the model).
+fn assert_jobs_invariant(name: &str) {
+    let w = ExperimentWindow::quick();
+    let seq = figs::run_figure(name, w, 1).expect("known figure");
+    let par = figs::run_figure(name, w, 8).expect("known figure");
+    assert_eq!(
+        seq.rows, par.rows,
+        "{name}: rows must be bit-identical at --jobs 1 and --jobs 8"
+    );
+    assert_eq!(
+        seq.notes, par.notes,
+        "{name}: notes must be bit-identical across worker counts"
+    );
+    assert_eq!(seq.name, par.name);
+    assert_eq!(seq.title, par.title);
+    assert_eq!(seq.unit, par.unit);
+    assert!(!seq.rows.is_empty(), "{name}: figure produced rows");
+}
+
+// One figure per table shape and domain keeps this suite fast while
+// covering every code path through the executor: microbenchmark compare
+// tables, the copy table, the split-up table, the data-center and PVFS
+// domains, and the fault ablation (rows + notes).
+
+#[test]
+fn fig3a_rows_identical_across_jobs() {
+    assert_jobs_invariant("fig3a");
+}
+
+#[test]
+fn fig5a_rows_identical_across_jobs() {
+    assert_jobs_invariant("fig5a");
+}
+
+#[test]
+fn fig6_rows_identical_across_jobs() {
+    assert_jobs_invariant("fig6");
+}
+
+#[test]
+fn fig7_rows_identical_across_jobs() {
+    assert_jobs_invariant("fig7");
+}
+
+#[test]
+fn fig8b_rows_identical_across_jobs() {
+    assert_jobs_invariant("fig8b");
+}
+
+#[test]
+fn fig10a_rows_identical_across_jobs() {
+    assert_jobs_invariant("fig10a");
+}
+
+#[test]
+fn abl_faults_rows_and_notes_identical_across_jobs() {
+    assert_jobs_invariant("abl-faults");
+}
+
+#[test]
+fn json_report_identical_across_jobs_modulo_wall_clock() {
+    // The committed BENCH_*.json must be diffable across PRs: with the
+    // wall-clock fields pinned, the whole document is worker-count
+    // independent.
+    use ioat_bench::report::{render_json, RunMeta};
+    let w = ExperimentWindow::quick();
+    let render = |jobs: usize| {
+        let mut fig = figs::run_figure("fig3b", w, jobs).expect("known figure");
+        fig.wall_ms = 0.0;
+        render_json(
+            &RunMeta {
+                quick: true,
+                jobs: 0,
+                total_wall_ms: 0.0,
+            },
+            &[fig],
+        )
+    };
+    assert_eq!(render(1), render(8));
+}

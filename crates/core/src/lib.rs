@@ -40,3 +40,32 @@ pub use metrics::{ExperimentWindow, ThroughputResult};
 
 // Re-export the configuration types callers need.
 pub use ioat_netsim::{IoatConfig, SocketOpts, StackParams};
+
+#[cfg(test)]
+mod send_contract {
+    //! The sweep executor (`ioat-bench::sweep`) moves figure-point jobs —
+    //! and the configs they capture — onto worker threads. Simulations
+    //! stay single-threaded (`Sim` is `Rc`-based and never crosses a
+    //! thread); only the plain-data *configuration* types must be `Send`.
+    //! These assertions turn an accidental `Rc`/`RefCell` field added to
+    //! a config into a compile error instead of a distant bench failure.
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn config_types_are_send() {
+        assert_send::<IoatConfig>();
+        assert_send::<SocketOpts>();
+        assert_send::<StackParams>();
+        assert_send::<ExperimentWindow>();
+        assert_send::<ThroughputResult>();
+        assert_send::<NodeConfig>();
+        assert_send::<microbench::bandwidth::BandwidthConfig>();
+        assert_send::<microbench::bidirectional::BidirConfig>();
+        assert_send::<microbench::multistream::MultiStreamConfig>();
+        assert_send::<microbench::sockopts::SweepConfig>();
+        assert_send::<microbench::splitup::SplitupConfig>();
+        assert_send::<microbench::copybench::CopyRow>();
+    }
+}

@@ -50,21 +50,38 @@ impl SweepConfig {
     }
 }
 
+/// Runs one Fig. 5a case (uni-directional bandwidth). The per-case entry
+/// point lets sweep executors fan the cases out as independent jobs.
+pub fn case_bandwidth(cfg: &SweepConfig, label: &str, opts: SocketOpts) -> CaseRow {
+    let bw = BandwidthConfig {
+        ports: cfg.ports,
+        opts,
+        window: cfg.window,
+    };
+    CaseRow {
+        case: label.to_string(),
+        comparison: bandwidth::compare(&bw),
+    }
+}
+
+/// Runs one Fig. 5b case (bi-directional bandwidth).
+pub fn case_bidirectional(cfg: &SweepConfig, label: &str, opts: SocketOpts) -> CaseRow {
+    let bd = BidirConfig {
+        ports: cfg.ports,
+        opts,
+        window: cfg.window,
+    };
+    CaseRow {
+        case: label.to_string(),
+        comparison: bidirectional::compare(&bd),
+    }
+}
+
 /// Runs the Fig. 5a sweep (uni-directional bandwidth).
 pub fn sweep_bandwidth(cfg: &SweepConfig) -> Vec<CaseRow> {
     SocketOpts::all_cases()
         .into_iter()
-        .map(|(label, opts)| {
-            let bw = BandwidthConfig {
-                ports: cfg.ports,
-                opts,
-                window: cfg.window,
-            };
-            CaseRow {
-                case: label.to_string(),
-                comparison: bandwidth::compare(&bw),
-            }
-        })
+        .map(|(label, opts)| case_bandwidth(cfg, label, opts))
         .collect()
 }
 
@@ -72,17 +89,7 @@ pub fn sweep_bandwidth(cfg: &SweepConfig) -> Vec<CaseRow> {
 pub fn sweep_bidirectional(cfg: &SweepConfig) -> Vec<CaseRow> {
     SocketOpts::all_cases()
         .into_iter()
-        .map(|(label, opts)| {
-            let bd = BidirConfig {
-                ports: cfg.ports,
-                opts,
-                window: cfg.window,
-            };
-            CaseRow {
-                case: label.to_string(),
-                comparison: bidirectional::compare(&bd),
-            }
-        })
+        .map(|(label, opts)| case_bidirectional(cfg, label, opts))
         .collect()
 }
 

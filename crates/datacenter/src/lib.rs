@@ -33,3 +33,22 @@ pub use cache::LruCache;
 pub use costs::DataCenterCosts;
 pub use tiers::{DataCenterConfig, DataCenterResult};
 pub use workload::{FileCatalog, Request, SingleFileTrace, ZipfTrace};
+
+#[cfg(test)]
+mod send_contract {
+    //! Parallel figure sweeps move these configs across worker threads;
+    //! see the matching module in `ioat-core`. Runtime actors stay
+    //! `Rc`-based and single-threaded — only configs must be `Send`.
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn config_types_are_send() {
+        assert_send::<DataCenterConfig>();
+        assert_send::<emulated::EmulatedConfig>();
+        assert_send::<DataCenterCosts>();
+        assert_send::<Request>();
+        assert_send::<DataCenterResult>();
+    }
+}

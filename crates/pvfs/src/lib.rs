@@ -33,3 +33,23 @@ pub mod meta;
 
 pub use harness::{concurrent_read, concurrent_write, multi_stream_read, PvfsConfig, PvfsResult};
 pub use layout::{Layout, StripePiece, DEFAULT_STRIPE};
+
+#[cfg(test)]
+mod send_contract {
+    //! Parallel figure sweeps move these configs across worker threads;
+    //! see the matching module in `ioat-core`. Daemons and clients stay
+    //! `Rc`-based and single-threaded — only configs must be `Send`.
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn config_types_are_send() {
+        assert_send::<PvfsConfig>();
+        assert_send::<PvfsResult>();
+        assert_send::<Layout>();
+        assert_send::<iod::IodParams>();
+        assert_send::<meta::MetaParams>();
+        assert_send::<client::ClientParams>();
+    }
+}

@@ -240,6 +240,32 @@ impl Sim {
         None
     }
 
+    /// The instant of the next *live* event, draining any cancelled
+    /// tombstones sitting on top of the heap. A plain `queue.peek()` would
+    /// report a tombstone's time, and `run_until` would then execute a
+    /// live event scheduled beyond its window edge.
+    fn peek_next_at(&mut self) -> Option<SimTime> {
+        while let Some(top) = self.queue.peek() {
+            if !self.cancelled.contains(&top.seq) {
+                return Some(top.at);
+            }
+            let ev = self.queue.pop().expect("peeked entry exists");
+            self.cancelled.remove(&ev.seq);
+        }
+        None
+    }
+
+    /// Bumps the executed-event counter and enforces the event limit.
+    fn count_executed(&mut self) {
+        self.executed += 1;
+        assert!(
+            self.executed <= self.event_limit,
+            "event limit {} exceeded at t={} — possible event loop",
+            self.event_limit,
+            self.now
+        );
+    }
+
     /// Runs until the event queue drains. Returns the final instant.
     ///
     /// # Panics
@@ -253,40 +279,47 @@ impl Sim {
     /// Runs until the queue drains or the next event would fire after
     /// `limit`. Events at exactly `limit` do execute; the clock never
     /// advances past `limit` while events remain beyond it.
+    ///
+    /// When the run stops inside the window — because the queue drained or
+    /// only later events remain — the clock still advances to `limit`
+    /// (unless `limit` is [`SimTime::MAX`], i.e. "run to completion"), so
+    /// elapsed-window accounting is identical whether or not the model had
+    /// events near the edge. Callers measuring rates over
+    /// `run_until(a)..run_until(b)` windows rely on this.
     pub fn run_until(&mut self, limit: SimTime) -> SimTime {
-        while let Some(next_at) = self.queue.peek().map(|e| e.at) {
+        while let Some(next_at) = self.peek_next_at() {
             if next_at > limit {
-                // Do not execute, but advance to the window edge so callers
-                // can reason about elapsed time.
-                if limit != SimTime::MAX {
-                    self.now = self.now.max(limit);
-                }
                 break;
             }
-            let Some(ev) = self.pop_next() else { break };
+            let ev = self.pop_next().expect("peek_next_at saw a live event");
             debug_assert!(ev.at >= self.now, "event time went backwards");
             self.now = ev.at;
-            self.executed += 1;
-            assert!(
-                self.executed <= self.event_limit,
-                "event limit {} exceeded at t={} — possible event loop",
-                self.event_limit,
-                self.now
-            );
+            self.count_executed();
             if let Some(hook) = self.hook.clone() {
                 (hook.borrow_mut())(ev.at, ev.seq);
             }
             (ev.action)(self);
+        }
+        // Advance to the window edge on every stop path (drained queue
+        // included); only the run-to-completion sentinel is excluded.
+        if limit != SimTime::MAX {
+            self.now = self.now.max(limit);
         }
         self.now
     }
 
     /// Runs a single event if one is pending, returning `true` if an event
     /// executed. Useful for fine-grained test assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured event limit is exceeded, exactly like
+    /// [`Sim::run`] — a runaway event loop driven one `step` at a time
+    /// must fail just as loudly.
     pub fn step(&mut self) -> bool {
         if let Some(ev) = self.pop_next() {
             self.now = ev.at;
-            self.executed += 1;
+            self.count_executed();
             if let Some(hook) = self.hook.clone() {
                 (hook.borrow_mut())(ev.at, ev.seq);
             }
@@ -474,6 +507,78 @@ mod tests {
         sim.schedule(SimDuration::from_nanos(5), mk(3));
         sim.run();
         assert_eq!(seen.borrow().len(), 2, "cleared hook sees nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_applies_to_step_driven_loops() {
+        // Regression: `step()` incremented `executed` without checking the
+        // limit, so a runaway loop driven one step at a time spun forever.
+        let mut sim = Sim::new();
+        sim.set_event_limit(1_000);
+        fn forever(sim: &mut Sim) {
+            sim.schedule(SimDuration::from_nanos(1), forever);
+        }
+        sim.schedule(SimDuration::ZERO, forever);
+        while sim.step() {}
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_queue_drains() {
+        // Regression: with an empty (or drained) queue `run_until(limit)`
+        // left `now` behind `limit`, so elapsed-window accounting differed
+        // between "no events" and "events beyond the edge" stop paths.
+        let mut sim = Sim::new();
+        assert_eq!(
+            sim.run_until(SimTime::from_nanos(100)),
+            SimTime::from_nanos(100),
+            "empty queue still advances to the window edge"
+        );
+        let (log, mk) = recorder();
+        sim.schedule(SimDuration::from_nanos(50), mk(1));
+        assert_eq!(
+            sim.run_until(SimTime::from_nanos(400)),
+            SimTime::from_nanos(400),
+            "drained queue advances past the last event to the edge"
+        );
+        assert_eq!(*log.borrow(), vec![1]);
+        // The run-to-completion sentinel is excluded: `run()` must report
+        // the last event's instant, not SimTime::MAX.
+        sim.schedule(SimDuration::from_nanos(7), mk(2));
+        assert_eq!(sim.run(), SimTime::from_nanos(407));
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_future_events_remain() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        sim.schedule(SimDuration::from_nanos(500), mk(9));
+        assert_eq!(
+            sim.run_until(SimTime::from_nanos(200)),
+            SimTime::from_nanos(200)
+        );
+        assert!(log.borrow().is_empty());
+        sim.run();
+        assert_eq!(*log.borrow(), vec![9]);
+    }
+
+    #[test]
+    fn run_until_ignores_cancelled_events_at_heap_top() {
+        // A cancelled event inside the window must not let a live event
+        // beyond the window execute: peeking has to skip tombstones.
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        let id = sim.schedule(SimDuration::from_nanos(5), mk(1));
+        sim.schedule(SimDuration::from_nanos(50), mk(2));
+        sim.cancel(id);
+        sim.run_until(SimTime::from_nanos(10));
+        assert!(
+            log.borrow().is_empty(),
+            "the live event at t=50 must not run inside a t<=10 window"
+        );
+        assert_eq!(sim.now(), SimTime::from_nanos(10));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![2]);
     }
 
     #[test]
