@@ -261,6 +261,36 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_floats_render_as_null() {
+        // JSON has no NaN/Infinity tokens; every non-finite value must
+        // degrade to `null` so downstream parsers never choke on a report
+        // from a pathological run.
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NEG_INFINITY), "null");
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(0.0), "0");
+
+        let meta = RunMeta {
+            quick: true,
+            jobs: 1,
+            total_wall_ms: f64::INFINITY,
+        };
+        let mut figs = sample_figures();
+        if let FigureRows::Compare(rows) = &mut figs[0].rows {
+            rows[0].non_ioat = f64::NEG_INFINITY;
+            rows[0].ioat = f64::INFINITY;
+        }
+        figs[0].wall_ms = f64::NAN;
+        let doc = render_json(&meta, &figs);
+        assert_well_formed(&doc);
+        assert!(doc.contains("\"total_wall_ms\": null"));
+        assert!(doc.contains("\"non_ioat\": null"));
+        assert!(doc.contains("\"ioat\": null"));
+        assert!(doc.contains("\"wall_ms\": null"));
+    }
+
+    #[test]
     fn empty_run_is_well_formed() {
         let meta = RunMeta {
             quick: false,

@@ -4,7 +4,7 @@
 //! subsequent requests to the same static content may be served from the
 //! cache." Capacity is bounded in bytes; eviction is strict LRU.
 
-use std::collections::HashMap;
+use ioat_simcore::FastHashMap;
 
 /// Byte-bounded LRU cache keyed by document id.
 ///
@@ -21,7 +21,7 @@ pub struct LruCache {
     capacity: u64,
     used: u64,
     /// id → (size, last-use tick)
-    entries: HashMap<u32, (u64, u64)>,
+    entries: FastHashMap<u32, (u64, u64)>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -33,7 +33,7 @@ impl LruCache {
         LruCache {
             capacity,
             used: 0,
-            entries: HashMap::new(),
+            entries: FastHashMap::default(),
             tick: 0,
             hits: 0,
             misses: 0,

@@ -480,13 +480,13 @@ pub fn run_zipf(
     let mut rng = ioat_simcore::SimRng::seed_from(cfg.seed ^ 0x21F);
     let catalog = crate::workload::FileCatalog::web_content(catalog_docs, median, &mut rng);
     let mut seed_rng = ioat_simcore::SimRng::seed_from(cfg.seed);
-    run(cfg, move |_t| {
-        Box::new(crate::workload::ZipfTrace::new(
-            catalog.clone(),
-            alpha,
-            seed_rng.fork(),
-        ))
-    })
+    // One CDF build shared by every client thread; each thread's fork
+    // draws from the same seed_rng stream the per-thread rebuild did.
+    // The template's own rng is never sampled, so it must not consume a
+    // seed_rng draw.
+    let template =
+        crate::workload::ZipfTrace::new(catalog, alpha, ioat_simcore::SimRng::seed_from(0));
+    run(cfg, move |_t| Box::new(template.fork(seed_rng.fork())))
 }
 
 #[cfg(test)]

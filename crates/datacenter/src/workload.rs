@@ -124,10 +124,14 @@ impl Trace for SingleFileTrace {
 /// Zipf(α) sampler over a catalog: `P(rank i) ∝ 1/i^α`.
 ///
 /// Uses a precomputed CDF and binary search, so sampling is O(log n).
+/// The catalog and CDF live behind `Rc`s so per-thread samplers (see
+/// [`ZipfTrace::fork`]) share one table instead of each paying the
+/// O(n·powf) construction — with hundreds of closed-loop client threads
+/// the rebuild used to dominate whole-figure wall time.
 #[derive(Debug, Clone)]
 pub struct ZipfTrace {
-    catalog: FileCatalog,
-    cdf: Vec<f64>,
+    catalog: std::rc::Rc<FileCatalog>,
+    cdf: std::rc::Rc<[f64]>,
     rng: SimRng,
     alpha: f64,
 }
@@ -152,10 +156,23 @@ impl ZipfTrace {
             *v /= total;
         }
         ZipfTrace {
-            catalog,
-            cdf,
+            catalog: std::rc::Rc::new(catalog),
+            cdf: cdf.into(),
             rng,
             alpha,
+        }
+    }
+
+    /// A sampler sharing this one's catalog and CDF tables but drawing
+    /// from its own `rng` stream. Draw order is identical to building a
+    /// fresh `ZipfTrace` with the same inputs — the CDF is a pure
+    /// function of `(catalog.len(), alpha)` — it just skips the rebuild.
+    pub fn fork(&self, rng: SimRng) -> Self {
+        ZipfTrace {
+            catalog: std::rc::Rc::clone(&self.catalog),
+            cdf: std::rc::Rc::clone(&self.cdf),
+            rng,
+            alpha: self.alpha,
         }
     }
 

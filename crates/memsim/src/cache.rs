@@ -118,10 +118,22 @@ impl RangeOutcome {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// `sets[s]` holds resident line tags, most recently used last.
-    sets: Vec<Vec<u64>>,
+    /// Resident line tags, `associativity` slots per set, most recently
+    /// used last within each set's occupied prefix. One contiguous
+    /// allocation (sets × ways): the per-line lookup loop walks at most
+    /// `associativity` adjacent words — no per-set pointer chase.
+    tags: Box<[u64]>,
+    /// Occupied ways per set.
+    lens: Box<[u8]>,
     stats: CacheStats,
     line_shift: u32,
+    /// Cached set count: `config.sets()` divides twice, and the mapping
+    /// runs once per line touched — the innermost loop of every copy.
+    num_sets: u64,
+    /// `num_sets - 1` when the set count is a power of two (the paper L2
+    /// and every realistic geometry), letting the mapping be a mask
+    /// instead of a hardware divide; `0` otherwise.
+    set_mask: u64,
 }
 
 impl Cache {
@@ -134,11 +146,19 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         config.validate();
         let sets = config.sets() as usize;
+        let num_sets = config.sets();
         Cache {
             config,
-            sets: vec![Vec::with_capacity(config.associativity as usize); sets],
+            tags: vec![0u64; sets * config.associativity as usize].into_boxed_slice(),
+            lens: vec![0u8; sets].into_boxed_slice(),
             stats: CacheStats::default(),
             line_shift: config.line_size.trailing_zeros(),
+            num_sets,
+            set_mask: if num_sets.is_power_of_two() {
+                num_sets - 1
+            } else {
+                0
+            },
         }
     }
 
@@ -161,8 +181,13 @@ impl Cache {
         addr >> self.line_shift
     }
 
+    #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line % self.config.sets()) as usize
+        if self.set_mask != 0 {
+            (line & self.set_mask) as usize
+        } else {
+            (line % self.num_sets) as usize
+        }
     }
 
     /// Accesses one line by address, allocating on miss (write-allocate /
@@ -171,19 +196,24 @@ impl Cache {
         let line = self.line_of(addr);
         let set_idx = self.set_of(line);
         let ways = self.config.associativity as usize;
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * ways;
+        let len = self.lens[set_idx] as usize;
+        let set = &mut self.tags[base..base + len];
         if let Some(pos) = set.iter().position(|&t| t == line) {
-            // Move to MRU position.
-            let tag = set.remove(pos);
-            set.push(tag);
+            // Move to MRU position (end of the occupied prefix).
+            set[pos..].rotate_left(1);
             self.stats.hits += 1;
             AccessOutcome::Hit
+        } else if len == ways {
+            // Evict LRU (front), insert at MRU (back).
+            set.rotate_left(1);
+            set[ways - 1] = line;
+            self.stats.evictions += 1;
+            self.stats.misses += 1;
+            AccessOutcome::Miss
         } else {
-            if set.len() == ways {
-                set.remove(0); // evict LRU
-                self.stats.evictions += 1;
-            }
-            set.push(line);
+            self.tags[base + len] = line;
+            self.lens[set_idx] = (len + 1) as u8;
             self.stats.misses += 1;
             AccessOutcome::Miss
         }
@@ -192,8 +222,10 @@ impl Cache {
     /// Checks residency without updating LRU order or statistics.
     pub fn probe_line(&self, addr: u64) -> bool {
         let line = self.line_of(addr);
-        let set = &self.sets[self.set_of(line)];
-        set.contains(&line)
+        let set_idx = self.set_of(line);
+        let base = set_idx * self.config.associativity as usize;
+        let len = self.lens[set_idx] as usize;
+        self.tags[base..base + len].contains(&line)
     }
 
     /// Accesses every line in `buf`, returning hit/miss counts.
@@ -237,9 +269,14 @@ impl Cache {
         let last = (buf.addr() + buf.len() - 1) >> self.line_shift;
         for line in first..=last {
             let set_idx = self.set_of(line);
-            let set = &mut self.sets[set_idx];
+            let ways = self.config.associativity as usize;
+            let base = set_idx * ways;
+            let len = self.lens[set_idx] as usize;
+            let set = &mut self.tags[base..base + len];
             if let Some(pos) = set.iter().position(|&t| t == line) {
-                set.remove(pos);
+                // Close the gap, preserving LRU order of the survivors.
+                set[pos..].rotate_left(1);
+                self.lens[set_idx] = (len - 1) as u8;
                 self.stats.invalidations += 1;
             }
         }
@@ -247,7 +284,7 @@ impl Cache {
 
     /// Total lines currently resident.
     pub fn resident_line_count(&self) -> u64 {
-        self.sets.iter().map(|s| s.len() as u64).sum()
+        self.lens.iter().map(|&l| l as u64).sum()
     }
 
     /// Bytes currently resident.

@@ -51,19 +51,32 @@ impl Link {
     /// Serializes `wire_bytes` onto the link, then delivers after the
     /// propagation latency. Frames queue FIFO behind earlier frames.
     /// Returns the delivery instant.
+    ///
+    /// The serialization end is a pure function of the transmitter's
+    /// backlog, so the delivery is scheduled directly at `end + latency`
+    /// with [`Resource::consume`] doing the busy accounting — one event
+    /// per frame instead of the former two (serialize-completion +
+    /// delivery). `schedule_deferred` keys the delivery at the serialize
+    /// end, so same-instant ties resolve exactly as if the old relay
+    /// event had scheduled it: execution order is bit-identical.
     pub fn transmit<F>(&self, sim: &mut Sim, wire_bytes: u64, deliver: F) -> SimTime
     where
         F: FnOnce(&mut Sim) + 'static,
     {
         let serialize = self.bandwidth.transfer_time(wire_bytes);
-        let latency = self.latency;
-        let done = self
-            .tx
-            .borrow_mut()
-            .run_job(sim, serialize, move |sim: &mut Sim| {
-                sim.schedule(latency, deliver);
-            });
-        done + latency
+        let done = self.tx.borrow_mut().consume(sim, serialize);
+        let arrive = done + self.latency;
+        sim.schedule_deferred(done, arrive, deliver);
+        arrive
+    }
+
+    /// Serializes `wire_bytes` onto the link for a frame that will never
+    /// arrive (fault injection): the transmitter's busy accounting is
+    /// identical to [`Link::transmit`], but no delivery event is
+    /// scheduled. Returns the instant the frame would have arrived.
+    pub fn transmit_dropped(&self, sim: &mut Sim, wire_bytes: u64) -> SimTime {
+        let serialize = self.bandwidth.transfer_time(wire_bytes);
+        self.tx.borrow_mut().consume(sim, serialize) + self.latency
     }
 
     /// Bytes-per-second utilization bookkeeping: fraction of `[from, to)`

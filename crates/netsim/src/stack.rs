@@ -46,10 +46,9 @@ use ioat_memsim::{
     AddressAllocator, Buffer, Cache, CacheConfig, CpuCopier, DmaEngine, DmaEngineRef, DmaRequest,
 };
 use ioat_simcore::resource::ResourcePool;
-use ioat_simcore::{RateMeter, Sim, SimDuration, SimTime};
+use ioat_simcore::{FastHashMap, RateMeter, Sim, SimDuration, SimTime};
 use ioat_telemetry::{Category, Tracer, TrackId};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Shared handle to a [`HostStack`].
@@ -119,7 +118,7 @@ pub struct HostStack {
     header_ring: Buffer,
     header_seq: u64,
     ports: Vec<Port>,
-    conns: HashMap<ConnId, Conn>,
+    conns: FastHashMap<ConnId, Conn>,
     /// Connections with undelivered data or a copy in flight — a proxy
     /// for the node's runnable receive threads.
     active_rx: usize,
@@ -179,7 +178,7 @@ impl HostStack {
             header_ring,
             header_seq: 0,
             ports: Vec::new(),
-            conns: HashMap::new(),
+            conns: FastHashMap::default(),
             active_rx: 0,
             queued_bytes: 0,
             rx_meter: RateMeter::new(),
@@ -695,43 +694,63 @@ fn pump(s: &StackRef, sim: &mut Sim, conn: ConnId) {
     arm_rto(s, sim, conn);
 }
 
-/// The window-pumping loop. Each departing frame consults the fault
-/// injector: a lost frame still serializes on the wire (the sender's NIC
-/// transmitted it) but never reaches the peer's `frame_arrived`.
+/// The window-pumping loop. The whole departing packet train is computed
+/// under a single stack borrow — the wire model never advances simulated
+/// time during `transmit`, so window arithmetic, the tx meter and the
+/// fault RNG observe exactly the order the old one-frame-per-pass loop
+/// produced, without per-frame `RefCell`/map traffic. Each frame consults
+/// the fault injector: a lost frame still serializes on the wire (the
+/// sender's NIC transmitted it) but never reaches the peer's
+/// `frame_arrived` — and schedules no event at all.
 fn pump_frames(s: &StackRef, sim: &mut Sim, conn: ConnId) {
-    loop {
-        let (frame, port, peer, peer_port, lost) = {
-            let mut st = s.borrow_mut();
-            let now = sim.now();
-            let Some(c) = st.conns.get_mut(&conn) else {
-                return;
-            };
+    let (train, link, peer, peer_port) = {
+        let mut st = s.borrow_mut();
+        let now = sim.now();
+        let Some(c) = st.conns.get_mut(&conn) else {
+            return;
+        };
+        let mss = c.send.opts.mss();
+        let port_idx = c.send.port;
+        let mut train: Vec<(Frame, bool)> = Vec::new();
+        loop {
             let sendable = c.send.pending.min(c.send.usable_window());
             if sendable == 0 {
-                return;
+                break;
             }
-            let payload = sendable.min(c.send.opts.mss());
+            let payload = sendable.min(mss);
             c.send.pending -= payload;
             c.send.next_seq += payload;
-            let frame = Frame {
-                conn,
-                payload,
-                seq_end: c.send.next_seq,
-            };
-            let port_idx = c.send.port;
-            st.tx_meter.record(now, payload);
-            let lost = st.faults.frame_lost(port_idx);
-            if lost {
+            train.push((
+                Frame {
+                    conn,
+                    payload,
+                    seq_end: c.send.next_seq,
+                },
+                false,
+            ));
+        }
+        if train.is_empty() {
+            return;
+        }
+        for (frame, lost) in &mut train {
+            st.tx_meter.record(now, frame.payload);
+            *lost = st.faults.frame_lost(port_idx);
+            if *lost {
                 st.stats.frames_dropped += 1;
                 st.fault_instant("pkt_drop", now);
             }
-            let port = &st.ports[port_idx];
-            let peer = Rc::clone(port.peer.as_ref().expect("port not wired"));
-            (frame, port_idx, peer, port.peer_port, lost)
-        };
-        let link = s.borrow().ports[port].tx.clone();
+        }
+        let port = &st.ports[port_idx];
+        (
+            train,
+            port.tx.clone(),
+            Rc::clone(port.peer.as_ref().expect("port not wired")),
+            port.peer_port,
+        )
+    };
+    for (frame, lost) in train {
         if lost {
-            link.transmit(sim, frame.wire_bytes(), |_sim| {});
+            link.transmit_dropped(sim, frame.wire_bytes());
         } else {
             let peer2 = Rc::clone(&peer);
             link.transmit(sim, frame.wire_bytes(), move |sim| {

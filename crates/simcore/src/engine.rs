@@ -1,55 +1,171 @@
 //! The discrete-event loop.
 //!
-//! [`Sim`] owns a priority queue of scheduled actions. Each action is a
-//! boxed `FnOnce(&mut Sim)`; model components live in `Rc<RefCell<_>>`
-//! cells that the closures capture. Two events scheduled for the same
-//! instant execute in scheduling order (FIFO tie-break on a monotonically
-//! increasing sequence number), which makes every run bit-reproducible.
+//! [`Sim`] owns an indexed priority queue of scheduled actions. Each
+//! action is a boxed `FnOnce(&mut Sim)`; model components live in
+//! `Rc<RefCell<_>>` cells that the closures capture. Two events scheduled
+//! for the same instant execute in scheduling order (FIFO tie-break on a
+//! monotonically increasing sequence number), which makes every run
+//! bit-reproducible.
+//!
+//! # Queue internals
+//!
+//! The queue is a slab-backed indexed binary min-heap:
+//!
+//! * Every scheduled event owns a **slab slot** holding its boxed action;
+//!   slots are recycled through a free list, so steady-state scheduling
+//!   allocates nothing beyond the action box itself.
+//! * The **heap** orders small plain-data entries by `(time, seq)` — the
+//!   classic FIFO-on-ties contract. Entries never move between slots, and
+//!   the hot pop path does one slab index per event — no hash lookups.
+//! * [`Sim::cancel`] is an O(1) **slot invalidation**: the action is
+//!   dropped immediately (so a cancelled far-future timer releases
+//!   everything its closure captured right away), the slot's generation is
+//!   bumped and the slot returns to the free list. The heap entry stays
+//!   behind as a small stale entry that the pop loop skips when its
+//!   time comes; a compaction sweep bounds how many such entries can
+//!   accumulate (see [`Sim::tombstones`]).
+//! * **Generations** make handles ABA-safe: a recycled slot gets a new
+//!   generation, so a stale [`EventId`] held by model code can never
+//!   cancel an unrelated later event.
 
 use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
 use std::rc::Rc;
 
 /// An opaque handle identifying a scheduled event, usable with
 /// [`Sim::cancel`].
+///
+/// Internally a `(slot, generation)` pair into the scheduler's slab;
+/// generation tagging makes stale handles inert rather than dangerous.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
 
 type Action = Box<dyn FnOnce(&mut Sim)>;
 
 /// Observer invoked for every executed event (see [`Sim::set_event_hook`]).
 type EventHook = Rc<RefCell<dyn FnMut(SimTime, u64)>>;
 
-/// Tombstone count that triggers a queue compaction sweep. Below this the
+/// Stale-entry count that triggers a heap compaction sweep. Below this the
 /// linear sweep costs more than the memory it reclaims.
-const COMPACT_MIN_TOMBSTONES: usize = 1024;
+const COMPACT_MIN_STALE: usize = 1024;
 
-struct Scheduled {
+/// One slab slot: the current generation plus the scheduled action.
+/// `action` is `None` while the slot sits on the free list.
+///
+/// `rekey_at` marks a deferred event (see [`Sim::schedule_deferred`])
+/// still waiting at its key instant: when its heap entry surfaces, the
+/// scheduler re-inserts it at `rekey_at` with a freshly drawn seq instead
+/// of executing it.
+struct Slot {
+    gen: u32,
+    rekey_at: Option<SimTime>,
+    action: Option<Action>,
+}
+
+/// A heap entry: plain data, 24 bytes, ordered by `(at, seq)`. The
+/// `(slot, gen)` pair locates the action; a generation mismatch marks the
+/// entry stale (its event was cancelled).
+#[derive(Clone, Copy)]
+struct HeapEntry {
     at: SimTime,
     seq: u64,
-    action: Action,
+    slot: u32,
+    gen: u32,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+/// A hand-rolled binary min-heap over [`HeapEntry`]s. `std`'s
+/// `BinaryHeap` would need an inverted `Ord` wrapper and offers no
+/// in-place retain-and-rebuild; this keeps the hot path free of both.
+#[derive(Default)]
+struct EventHeap {
+    entries: Vec<HeapEntry>,
+}
+
+impl EventHeap {
+    #[inline]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<&HeapEntry> {
+        self.entries.first()
+    }
+
+    #[inline]
+    fn push(&mut self, e: HeapEntry) {
+        self.entries.push(e);
+        self.sift_up(self.entries.len() - 1);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<HeapEntry> {
+        let n = self.entries.len();
+        match n {
+            0 => None,
+            1 => self.entries.pop(),
+            _ => {
+                self.entries.swap(0, n - 1);
+                let top = self.entries.pop();
+                self.sift_down(0);
+                top
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.entries[i].key() < self.entries[parent].key() {
+                self.entries.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.entries.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let mut smallest = if self.entries[l].key() < self.entries[i].key() {
+                l
+            } else {
+                i
+            };
+            if r < n && self.entries[r].key() < self.entries[smallest].key() {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.entries.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    /// Drops every entry failing `keep`, then re-heapifies in place.
+    fn retain_rebuild(&mut self, keep: impl Fn(&HeapEntry) -> bool) {
+        self.entries.retain(|e| keep(e));
+        // Classic bottom-up heapify: O(n).
+        for i in (0..self.entries.len() / 2).rev() {
+            self.sift_down(i);
+        }
     }
 }
 
@@ -75,10 +191,13 @@ impl Ord for Scheduled {
 pub struct Sim {
     now: SimTime,
     next_seq: u64,
-    queue: BinaryHeap<Scheduled>,
-    /// Seqs of events currently in the queue (not yet fired or cancelled).
-    pending: HashSet<u64>,
-    cancelled: HashSet<u64>,
+    heap: EventHeap,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Live (scheduled, not fired, not cancelled) events.
+    live: usize,
+    /// Stale heap entries left behind by cancellations.
+    stale: usize,
     executed: u64,
     /// Hard cap on executed events; guards against accidental infinite
     /// event loops in model code.
@@ -100,7 +219,7 @@ impl std::fmt::Debug for Sim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
             .field("now", &self.now)
-            .field("pending", &self.queue.len())
+            .field("pending", &self.live)
             .field("executed", &self.executed)
             .finish()
     }
@@ -112,9 +231,11 @@ impl Sim {
         Sim {
             now: SimTime::ZERO,
             next_seq: 0,
-            queue: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            heap: EventHeap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            stale: 0,
             executed: 0,
             event_limit: u64::MAX,
             hook: None,
@@ -131,16 +252,20 @@ impl Sim {
         self.executed
     }
 
-    /// Number of events still pending (including cancelled tombstones).
+    /// Number of *live* events still pending. Cancelled events are
+    /// excluded — callers sizing remaining work must not see phantom
+    /// entries (they did before the indexed queue, when this counted
+    /// cancellation tombstones too).
     pub fn events_pending(&self) -> usize {
-        self.queue.len()
+        self.live
     }
 
-    /// Number of cancelled events still occupying queue slots. Bounded by
-    /// the compaction sweep in [`Sim::cancel`]; exposed for regression
-    /// tests and diagnostics.
+    /// Number of stale (cancelled) entries still occupying heap slots.
+    /// Their actions were already dropped at cancel time; what remains is
+    /// a few dozen bytes of ordering data each, bounded by the compaction sweep in
+    /// [`Sim::cancel`]. Exposed for regression tests and diagnostics.
     pub fn tombstones(&self) -> usize {
-        self.cancelled.len()
+        self.stale
     }
 
     /// Installs an observer called with `(time, seq)` for every executed
@@ -186,71 +311,175 @@ impl Sim {
             "schedule_at: target {at} is before now {}",
             self.now
         );
+        self.push_event(at, None, Box::new(action))
+    }
+
+    /// Schedules `action` to fire at `fire_at`, ordered among same-instant
+    /// ties *as if* an intermediate relay event at the earlier instant
+    /// `key_at` had scheduled it.
+    ///
+    /// This exists for models that can compute a two-stage delay up front
+    /// (e.g. a link's serialize-then-propagate wire model): instead of
+    /// paying a full relay event at `key_at` — a boxed closure whose only
+    /// job is to call `schedule_at(fire_at, action)` — the action is
+    /// enqueued once, at `key_at`, and when its entry surfaces at the top
+    /// of the heap the scheduler re-inserts it at `fire_at` with a seq
+    /// drawn at that moment. The heap-key sequence this produces is
+    /// identical to the relay formulation step for step, so execution
+    /// order is bit-identical — but no relay closure is allocated, no
+    /// relay event executes (it does not count toward
+    /// [`Sim::events_executed`], the event limit, or the event hook), and
+    /// the slab slot is reused across both phases, so the returned
+    /// [`EventId`] stays valid for [`Sim::cancel`] throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `now <= key_at <= fire_at`.
+    pub fn schedule_deferred<F>(&mut self, key_at: SimTime, fire_at: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        assert!(
+            key_at >= self.now,
+            "schedule_deferred: key instant {key_at} is before now {}",
+            self.now
+        );
+        assert!(
+            fire_at >= key_at,
+            "schedule_deferred: fire instant {fire_at} is before key instant {key_at}"
+        );
+        self.push_event(key_at, Some(fire_at), Box::new(action))
+    }
+
+    fn push_event(&mut self, at: SimTime, rekey_at: Option<SimTime>, action: Action) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.insert(seq);
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            action: Box::new(action),
-        });
-        EventId(seq)
+        let (slot, gen) = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.action.is_none(), "free-listed slot holds an action");
+                s.action = Some(action);
+                s.rekey_at = rekey_at;
+                (slot, s.gen)
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
+                self.slots.push(Slot {
+                    gen: 0,
+                    rekey_at,
+                    action: Some(action),
+                });
+                (slot, 0)
+            }
+        };
+        self.heap.push(HeapEntry { at, seq, slot, gen });
+        self.live += 1;
+        EventId { slot, gen }
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event had not yet fired (and will now never
     /// fire); `false` if it already executed or was already cancelled.
+    /// The action — and everything its closure captured — is dropped
+    /// immediately; only a small stale ordering entry stays in the heap
+    /// until its instant passes or a compaction sweep removes it. O(1)
+    /// amortized.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // The heap cannot be searched cheaply; leave a tombstone that the
-        // pop loop skips. Only events still pending can be cancelled.
-        if !self.pending.remove(&id.0) {
-            return false;
+        match self.slots.get_mut(id.slot as usize) {
+            Some(s) if s.gen == id.gen && s.action.is_some() => {
+                s.action = None;
+                s.gen = s.gen.wrapping_add(1);
+                self.free.push(id.slot);
+                self.live -= 1;
+                self.stale += 1;
+                self.maybe_compact();
+                true
+            }
+            _ => false,
         }
-        self.cancelled.insert(id.0);
-        self.maybe_compact();
-        true
     }
 
-    /// Sweeps cancelled entries out of the heap once tombstones pile up.
+    /// Releases a slot after its event fired, returning the action.
+    #[inline]
+    fn take_fired(&mut self, slot: u32) -> Action {
+        let s = &mut self.slots[slot as usize];
+        let action = s.action.take().expect("live heap entry has an action");
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        action
+    }
+
+    /// Sweeps stale entries out of the heap once they pile up.
     ///
-    /// `pop_next` already drains a tombstone when its time comes, but a
-    /// cancelled far-future event (a retransmit timer that never fires,
-    /// say) would otherwise hold its boxed closure — and everything the
-    /// closure captures — until that instant. Long cancel-heavy runs grew
-    /// without bound before this sweep. Amortized O(1): each sweep is
-    /// O(queue) but removes at least half the queue's tombstones.
+    /// `pop_next` drains a stale entry when its time comes, and its boxed
+    /// action was already dropped at cancel time — but a heavily
+    /// cancel-churning model could still accumulate unbounded small
+    /// ordering entries for far-future instants. Amortized O(1): each
+    /// sweep is O(heap) but removes at least half the heap's entries.
     fn maybe_compact(&mut self) {
-        if self.cancelled.len() >= COMPACT_MIN_TOMBSTONES
-            && self.cancelled.len() * 2 >= self.queue.len()
-        {
-            let cancelled = std::mem::take(&mut self.cancelled);
-            self.queue.retain(|ev| !cancelled.contains(&ev.seq));
+        if self.stale >= COMPACT_MIN_STALE && self.stale * 2 >= self.heap.len() {
+            let slots = &self.slots;
+            self.heap
+                .retain_rebuild(|e| slots[e.slot as usize].gen == e.gen);
+            self.stale = 0;
         }
     }
 
-    fn pop_next(&mut self) -> Option<Scheduled> {
-        while let Some(ev) = self.queue.pop() {
-            if self.cancelled.remove(&ev.seq) {
+    /// If the heap top is a live deferred entry still at its key instant,
+    /// re-inserts it at its fire time with a freshly drawn seq — the exact
+    /// seq an executing relay event would have drawn at this moment — and
+    /// returns `true`. The slab slot (and thus the event's [`EventId`]) is
+    /// untouched. Callers must have drained stale tops first (via
+    /// [`Sim::peek_next_at`]).
+    fn rekey_top(&mut self) -> bool {
+        match self.heap.peek() {
+            Some(top) if self.slots[top.slot as usize].rekey_at.is_some() => {
+                debug_assert_eq!(self.slots[top.slot as usize].gen, top.gen);
+                let e = self.heap.pop().expect("peeked entry exists");
+                let fire_at = self.slots[e.slot as usize]
+                    .rekey_at
+                    .take()
+                    .expect("checked above");
+                debug_assert!(fire_at >= e.at, "deferred fire instant before key");
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.heap.push(HeapEntry {
+                    at: fire_at,
+                    seq,
+                    slot: e.slot,
+                    gen: e.gen,
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn pop_next(&mut self) -> Option<(SimTime, u64, Action)> {
+        while let Some(e) = self.heap.pop() {
+            if self.slots[e.slot as usize].gen != e.gen {
+                self.stale -= 1;
                 continue;
             }
-            self.pending.remove(&ev.seq);
-            return Some(ev);
+            let action = self.take_fired(e.slot);
+            return Some((e.at, e.seq, action));
         }
         None
     }
 
-    /// The instant of the next *live* event, draining any cancelled
-    /// tombstones sitting on top of the heap. A plain `queue.peek()` would
-    /// report a tombstone's time, and `run_until` would then execute a
-    /// live event scheduled beyond its window edge.
+    /// The instant of the next *live* event, draining any stale entries
+    /// sitting on top of the heap. A plain peek would report a cancelled
+    /// event's time, and `run_until` would then execute a live event
+    /// scheduled beyond its window edge.
     fn peek_next_at(&mut self) -> Option<SimTime> {
-        while let Some(top) = self.queue.peek() {
-            if !self.cancelled.contains(&top.seq) {
+        while let Some(top) = self.heap.peek() {
+            if self.slots[top.slot as usize].gen == top.gen {
                 return Some(top.at);
             }
-            let ev = self.queue.pop().expect("peeked entry exists");
-            self.cancelled.remove(&ev.seq);
+            self.heap.pop();
+            self.stale -= 1;
         }
         None
     }
@@ -291,14 +520,21 @@ impl Sim {
             if next_at > limit {
                 break;
             }
-            let ev = self.pop_next().expect("peek_next_at saw a live event");
-            debug_assert!(ev.at >= self.now, "event time went backwards");
-            self.now = ev.at;
+            // A deferred entry reaching the top at its key instant is
+            // re-inserted at its fire time, not executed (see
+            // `schedule_deferred`). Its fire time may lie beyond `limit`,
+            // so loop back to re-peek rather than popping blindly.
+            if self.rekey_top() {
+                continue;
+            }
+            let (at, seq, action) = self.pop_next().expect("peek_next_at saw a live event");
+            debug_assert!(at >= self.now, "event time went backwards");
+            self.now = at;
             self.count_executed();
             if let Some(hook) = self.hook.clone() {
-                (hook.borrow_mut())(ev.at, ev.seq);
+                (hook.borrow_mut())(at, seq);
             }
-            (ev.action)(self);
+            action(self);
         }
         // Advance to the window edge on every stop path (drained queue
         // included); only the run-to-completion sentinel is excluded.
@@ -311,22 +547,31 @@ impl Sim {
     /// Runs a single event if one is pending, returning `true` if an event
     /// executed. Useful for fine-grained test assertions.
     ///
+    /// Deferred entries still at their key instant (see
+    /// [`Sim::schedule_deferred`]) are re-keyed transparently on the way:
+    /// they do not count as the step's event.
+    ///
     /// # Panics
     ///
     /// Panics if the configured event limit is exceeded, exactly like
     /// [`Sim::run`] — a runaway event loop driven one `step` at a time
     /// must fail just as loudly.
     pub fn step(&mut self) -> bool {
-        if let Some(ev) = self.pop_next() {
-            self.now = ev.at;
+        loop {
+            if self.peek_next_at().is_none() {
+                return false;
+            }
+            if self.rekey_top() {
+                continue;
+            }
+            let (at, seq, action) = self.pop_next().expect("peek_next_at saw a live event");
+            self.now = at;
             self.count_executed();
             if let Some(hook) = self.hook.clone() {
-                (hook.borrow_mut())(ev.at, ev.seq);
+                (hook.borrow_mut())(at, seq);
             }
-            (ev.action)(self);
-            true
-        } else {
-            false
+            action(self);
+            return true;
         }
     }
 }
@@ -407,6 +652,41 @@ mod tests {
     }
 
     #[test]
+    fn events_pending_counts_live_events_only() {
+        // Regression: events_pending() used to include cancelled
+        // tombstones, so callers saw phantom work.
+        let mut sim = Sim::new();
+        let (_log, mk) = recorder();
+        let _keep = sim.schedule(SimDuration::from_nanos(1), mk(1));
+        let a = sim.schedule(SimDuration::from_nanos(2), mk(2));
+        let b = sim.schedule(SimDuration::from_nanos(3), mk(3));
+        assert_eq!(sim.events_pending(), 3);
+        assert!(sim.cancel(a));
+        assert!(sim.cancel(b));
+        assert_eq!(sim.events_pending(), 1, "cancelled events are not pending");
+        assert_eq!(sim.tombstones(), 2, "stale entries tracked separately");
+        sim.run();
+        assert_eq!(sim.events_pending(), 0);
+        assert_eq!(sim.tombstones(), 0, "stale entries drain with the run");
+    }
+
+    #[test]
+    fn stale_handles_are_inert_after_slot_reuse() {
+        // Generation tagging: a handle kept past its event's lifetime must
+        // not cancel the unrelated event that recycled the slot.
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        let old = sim.schedule(SimDuration::from_nanos(1), mk(1));
+        assert!(sim.cancel(old), "first cancel succeeds");
+        // The slot is recycled by the next schedule.
+        let fresh = sim.schedule(SimDuration::from_nanos(2), mk(2));
+        assert!(!sim.cancel(old), "stale handle must not hit the new event");
+        sim.run();
+        assert_eq!(*log.borrow(), vec![2], "recycled event still fires");
+        assert!(!sim.cancel(fresh), "fired event cannot be cancelled");
+    }
+
+    #[test]
     fn run_until_stops_at_window_edge() {
         let mut sim = Sim::new();
         let (log, mk) = recorder();
@@ -444,11 +724,13 @@ mod tests {
 
     #[test]
     fn cancel_heavy_runs_stay_bounded() {
-        // Regression: cancelled far-future events used to keep their heap
-        // slot (and boxed closure) until their scheduled instant, so a
-        // schedule/cancel/run loop grew the queue without bound.
+        // Regression: cancelled far-future events used to keep their boxed
+        // closure until their scheduled instant, so a schedule/cancel/run
+        // loop grew without bound. With the indexed queue the action drops
+        // at cancel time and the compaction sweep bounds the small stale
+        // ordering entries.
         let mut sim = Sim::new();
-        let cycles = 20 * COMPACT_MIN_TOMBSTONES;
+        let cycles = 20 * COMPACT_MIN_STALE;
         for i in 0..cycles {
             // A far-future event that is always cancelled...
             let id = sim.schedule(SimDuration::from_secs(3600), |_| {
@@ -458,14 +740,19 @@ mod tests {
             // ...and a near event that actually runs.
             sim.schedule(SimDuration::from_nanos(1), |_| {});
             sim.run_until(sim.now() + SimDuration::from_nanos(1));
-            let bound = 2 * COMPACT_MIN_TOMBSTONES + 2;
             assert!(
-                sim.events_pending() <= bound,
-                "queue grew to {} after {} cycles",
+                sim.events_pending() <= 1,
+                "live count grew to {} after {} cycles",
                 sim.events_pending(),
                 i + 1
             );
-            assert!(sim.tombstones() <= bound);
+            let bound = 2 * COMPACT_MIN_STALE + 2;
+            assert!(
+                sim.tombstones() <= bound,
+                "stale entries grew to {} after {} cycles",
+                sim.tombstones(),
+                i + 1
+            );
         }
         assert_eq!(sim.events_executed(), cycles as u64);
         // Draining the queue afterwards must not fire any cancelled event.
@@ -479,11 +766,11 @@ mod tests {
         // One live event wedged between many cancelled ones, forcing a
         // sweep while it is in the heap.
         sim.schedule(SimDuration::from_nanos(50), mk(42));
-        for _ in 0..4 * COMPACT_MIN_TOMBSTONES {
+        for _ in 0..4 * COMPACT_MIN_STALE {
             let id = sim.schedule(SimDuration::from_secs(10), mk(0));
             sim.cancel(id);
         }
-        assert!(sim.events_pending() < 4 * COMPACT_MIN_TOMBSTONES);
+        assert!(sim.tombstones() < 4 * COMPACT_MIN_STALE);
         sim.run();
         assert_eq!(*log.borrow(), vec![42]);
     }
@@ -565,7 +852,7 @@ mod tests {
     #[test]
     fn run_until_ignores_cancelled_events_at_heap_top() {
         // A cancelled event inside the window must not let a live event
-        // beyond the window execute: peeking has to skip tombstones.
+        // beyond the window execute: peeking has to skip stale entries.
         let mut sim = Sim::new();
         let (log, mk) = recorder();
         let id = sim.schedule(SimDuration::from_nanos(5), mk(1));
@@ -579,6 +866,94 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_nanos(10));
         sim.run();
         assert_eq!(*log.borrow(), vec![2]);
+    }
+
+    #[test]
+    fn deferred_events_tie_break_at_their_key_instant() {
+        // schedule_deferred(key_at, fire_at, ..) must order among
+        // same-instant ties exactly as if a relay event at key_at had
+        // scheduled it: after events drawn before key_at, before events
+        // drawn after key_at.
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        // Drawn at t=0 for t=20: before the deferred (draw time 0 < 10).
+        sim.schedule(SimDuration::from_nanos(20), mk(1));
+        // Deferred: fires at 20, keyed at 10.
+        sim.schedule_deferred(SimTime::from_nanos(10), SimTime::from_nanos(20), mk(3));
+        // Drawn at t=5 for t=20: still before the deferred (5 < 10).
+        let b = mk(2);
+        sim.schedule(SimDuration::from_nanos(5), move |s| {
+            s.schedule(SimDuration::from_nanos(15), b);
+        });
+        // Drawn at t=15 for t=20: after the deferred (15 > 10).
+        let d = mk(4);
+        sim.schedule(SimDuration::from_nanos(15), move |s| {
+            s.schedule(SimDuration::from_nanos(5), d);
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deferred_events_order_by_relay_seq_among_same_key_instant() {
+        // Ties at the same key instant resolve by the executing order the
+        // phantom relay events would have had: the deferred's own seq
+        // against the seqs of events executing at key_at.
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        // e1 (seq 0) executes at t=10 and draws for t=30.
+        let a = mk(1);
+        sim.schedule(SimDuration::from_nanos(10), move |s| {
+            s.schedule(SimDuration::from_nanos(20), a);
+        });
+        // Deferred (seq 1): relay would execute at t=10 between e1 and e2.
+        sim.schedule_deferred(SimTime::from_nanos(10), SimTime::from_nanos(30), mk(2));
+        // e2 (seq 2) executes at t=10 and draws for t=30.
+        let c = mk(3);
+        sim.schedule(SimDuration::from_nanos(10), move |s| {
+            s.schedule(SimDuration::from_nanos(20), c);
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deferred_matches_relay_event_formulation() {
+        // Differential check: schedule_deferred(k, f, a) behaves exactly
+        // like schedule_at(k, |s| s.schedule_at(f, a)) — same execution
+        // order against a same-instant competitor — minus the relay event
+        // (events_executed differs by exactly one).
+        let run = |deferred: bool| -> (Vec<u64>, u64) {
+            let mut sim = Sim::new();
+            let (log, mk) = recorder();
+            let competitor = mk(7);
+            sim.schedule(SimDuration::from_nanos(12), move |s| {
+                s.schedule(SimDuration::from_nanos(8), competitor);
+            });
+            let payload = mk(9);
+            if deferred {
+                sim.schedule_deferred(SimTime::from_nanos(10), SimTime::from_nanos(20), payload);
+            } else {
+                sim.schedule_at(SimTime::from_nanos(10), move |s| {
+                    s.schedule_at(SimTime::from_nanos(20), payload);
+                });
+            }
+            sim.run();
+            let order = log.borrow().clone();
+            (order, sim.events_executed())
+        };
+        let (with_relay, relay_events) = run(false);
+        let (with_deferred, deferred_events) = run(true);
+        assert_eq!(with_relay, with_deferred);
+        assert_eq!(with_relay, vec![9, 7], "keyed at 10 beats drawn-at-12");
+        assert_eq!(relay_events, deferred_events + 1, "one event saved");
+    }
+
+    #[test]
+    #[should_panic(expected = "fire instant")]
+    fn deferred_fire_before_key_panics() {
+        let mut sim = Sim::new();
+        sim.schedule_deferred(SimTime::from_nanos(10), SimTime::from_nanos(5), |_| {});
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! `std`'s default `SipHash` is keyed per-process and DoS-resistant —
+//! properties a deterministic simulator neither needs nor wants on its hot
+//! paths. Model state keyed by small dense integers (connection ids,
+//! document ids) hashes every frame and every transaction; a fixed
+//! multiply-xor finalizer (the `splitmix64` mix) is an order of magnitude
+//! cheaper and, being unkeyed, keeps iteration-independent behaviour
+//! identical across processes and machines.
+//!
+//! Only use this for trusted internal keys: it is not collision-resistant
+//! against adversarial input, which simulator state never is.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` alias wired to the fast hasher.
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` alias wired to the fast hasher.
+pub type FastHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FastHasher>>;
+
+/// A word-at-a-time hasher finalized with the splitmix64 mix.
+///
+/// Integers hash in a handful of cycles; byte slices fold 8 bytes at a
+/// time. Deterministic: no per-process key.
+#[derive(Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.state = mix(self.state ^ u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.state = self.state.rotate_left(16) ^ u64::from(v);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = self.state.rotate_left(32) ^ v;
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_work_and_are_deterministic() {
+        let mut m: FastHashMap<u64, u32> = FastHashMap::default();
+        for i in 0..1_000u64 {
+            m.insert(i, (i * 3) as u32);
+        }
+        for i in 0..1_000u64 {
+            assert_eq!(m.get(&i), Some(&((i * 3) as u32)));
+        }
+        assert_eq!(m.len(), 1_000);
+    }
+
+    #[test]
+    fn small_integers_do_not_collide_trivially() {
+        let mut seen = FastHashSet::default();
+        for i in 0..10_000u64 {
+            let mut h = FastHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000, "mix must separate dense keys");
+    }
+}

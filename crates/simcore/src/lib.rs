@@ -35,12 +35,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod hash;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{EventId, Sim};
+pub use hash::{FastHashMap, FastHashSet};
 pub use resource::{Resource, ResourceRef, UtilizationMeter};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, RateMeter, Summary};

@@ -131,12 +131,32 @@ impl SimDuration {
     }
 
     /// A span of `secs` seconds given as a float, rounded to the nearest
-    /// nanosecond. Negative and non-finite inputs clamp to zero.
+    /// nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN, infinite, negative, or unrepresentably large (more
+    /// than `u64::MAX` nanoseconds) inputs. These used to clamp silently
+    /// to zero (NaN/negative) or wrap through `as u64` saturation
+    /// (overflow), turning caller arithmetic bugs into quiet timing
+    /// errors; a model that computes a non-finite or negative span is
+    /// broken and must hear about it.
     pub fn from_secs_f64(secs: f64) -> Self {
-        if !secs.is_finite() || secs <= 0.0 {
-            return SimDuration::ZERO;
-        }
-        SimDuration((secs * 1e9).round() as u64)
+        assert!(
+            secs.is_finite(),
+            "SimDuration::from_secs_f64: non-finite seconds ({secs})"
+        );
+        assert!(
+            secs >= 0.0,
+            "SimDuration::from_secs_f64: negative seconds ({secs})"
+        );
+        let nanos = (secs * 1e9).round();
+        // 2^64 ns ≈ 584 years of simulated time; anything beyond is a bug.
+        assert!(
+            nanos <= u64::MAX as f64,
+            "SimDuration::from_secs_f64: {secs} s overflows u64 nanoseconds"
+        );
+        SimDuration(nanos as u64)
     }
 
     /// The span in nanoseconds.
@@ -175,8 +195,17 @@ impl SimDuration {
     }
 
     /// Multiplies the span by a float factor, rounding to the nearest
-    /// nanosecond. Negative factors clamp to zero.
+    /// nanosecond. Negative factors clamp to zero (a backoff curve that
+    /// dips below zero means "no delay", not a logic error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is NaN or the product overflows `u64`
+    /// nanoseconds (see [`SimDuration::from_secs_f64`]).
     pub fn mul_f64(self, factor: f64) -> SimDuration {
+        if factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
         SimDuration::from_secs_f64(self.as_secs_f64() * factor)
     }
 }
@@ -390,8 +419,45 @@ mod tests {
     #[test]
     fn duration_from_float_seconds() {
         assert_eq!(SimDuration::from_secs_f64(1e-6).as_nanos(), 1_000);
-        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
+        // Rounds to nearest nanosecond.
+        assert_eq!(SimDuration::from_secs_f64(1.5e-9).as_nanos(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite seconds")]
+    fn duration_from_nan_seconds_panics() {
+        // Regression: NaN used to clamp silently to zero, hiding the
+        // caller's broken arithmetic.
+        let _ = SimDuration::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite seconds")]
+    fn duration_from_infinite_seconds_panics() {
+        let _ = SimDuration::from_secs_f64(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative seconds")]
+    fn duration_from_negative_seconds_panics() {
+        // Regression: -1.0 used to clamp silently to zero.
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64 nanoseconds")]
+    fn duration_from_overflowing_seconds_panics() {
+        // Regression: `as u64` saturated huge values instead of failing.
+        // 2^64 ns is ~584 years; 1e12 s is ~31,700 years.
+        let _ = SimDuration::from_secs_f64(1e12);
+    }
+
+    #[test]
+    fn mul_f64_clamps_negative_factors_only() {
+        let d = SimDuration::from_secs(1);
+        assert_eq!(d.mul_f64(-2.0), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(0.25), SimDuration::from_millis(250));
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Differential property test for the indexed event queue.
+//!
+//! The scheduler was rebuilt from `BinaryHeap + pending/cancelled HashSet`
+//! tombstoning to a slab-backed indexed priority queue with
+//! generation-tagged handles. The determinism contract — events execute in
+//! exact `(time, seq)` order, FIFO on ties — must survive the swap. This
+//! test drives the real [`Sim`] and a straightforward reference
+//! implementation of the *old* design (a `BinaryHeap` ordered by
+//! `(time, seq)` plus a cancelled-seq set) through identical seeded
+//! operation scripts — schedules with colliding instants, nested
+//! scheduling from inside events, interleaved cancels, windowed runs — and
+//! asserts identical execution order, cancel outcomes, clocks and pending
+//! counts at every step. All randomness comes from a fixed-seed xorshift
+//! generator: no host entropy, bit-reproducible across runs and machines.
+
+use ioat_simcore::{Sim, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::rc::Rc;
+
+/// xorshift64* — tiny, seedable, no host entropy.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `0..bound`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Reference model of the pre-rewrite scheduler: a min-`BinaryHeap` of
+/// `(at, seq)`-ordered entries plus a cancelled-seq tombstone set, exactly
+/// the old design minus the compaction plumbing (which never affected
+/// execution order, only memory).
+struct RefEngine {
+    now: u64,
+    next_seq: u64,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    cancelled: HashSet<u64>,
+    events: Vec<RefEvent>,
+    /// Registration-order handle list, mirroring the real run's handle
+    /// list index-for-index.
+    handles: Vec<usize>,
+    log: Vec<u64>,
+}
+
+struct RefEvent {
+    seq: u64,
+    tag: u64,
+    /// `(delta_ns, child_tag)`: on firing, schedule a child.
+    child: Option<(u64, u64)>,
+    fired: bool,
+    cancelled: bool,
+}
+
+impl RefEngine {
+    fn new() -> Self {
+        RefEngine {
+            now: 0,
+            next_seq: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            events: Vec::new(),
+            handles: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    fn schedule(&mut self, delay: u64, tag: u64, child: Option<(u64, u64)>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let at = self.now + delay;
+        let idx = self.events.len();
+        self.events.push(RefEvent {
+            seq,
+            tag,
+            child,
+            fired: false,
+            cancelled: false,
+        });
+        self.heap.push(Reverse((at, seq, idx)));
+        self.handles.push(idx);
+    }
+
+    fn cancel(&mut self, handle_idx: usize) -> bool {
+        let idx = self.handles[handle_idx];
+        let ev = &mut self.events[idx];
+        if ev.fired || ev.cancelled {
+            return false;
+        }
+        ev.cancelled = true;
+        self.cancelled.insert(ev.seq);
+        true
+    }
+
+    fn pending(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| !e.fired && !e.cancelled)
+            .count()
+    }
+
+    fn run_until(&mut self, limit: u64) {
+        while let Some(&Reverse((at, seq, idx))) = self.heap.peek() {
+            if self.cancelled.contains(&seq) {
+                self.heap.pop();
+                continue;
+            }
+            if at > limit {
+                break;
+            }
+            self.heap.pop();
+            self.now = at;
+            self.events[idx].fired = true;
+            let tag = self.events[idx].tag;
+            self.log.push(tag);
+            if let Some((delta, child_tag)) = self.events[idx].child {
+                self.schedule(delta, child_tag, None);
+            }
+        }
+        // Mirrors Sim::run_until advancing to the window edge.
+        self.now = self.now.max(limit);
+    }
+}
+
+/// Schedules an event on the real [`Sim`] that logs `tag` and, when
+/// `child` is set, schedules a logging child and registers its handle —
+/// in the same order the reference registers its child.
+fn schedule_real(
+    sim: &mut Sim,
+    delay: u64,
+    tag: u64,
+    child: Option<(u64, u64)>,
+    log: &Rc<RefCell<Vec<u64>>>,
+    handles: &Rc<RefCell<Vec<ioat_simcore::EventId>>>,
+) {
+    let log2 = Rc::clone(log);
+    let handles2 = Rc::clone(handles);
+    let id = sim.schedule(SimDuration::from_nanos(delay), move |s| {
+        log2.borrow_mut().push(tag);
+        if let Some((delta, child_tag)) = child {
+            let log3 = Rc::clone(&log2);
+            let cid = s.schedule(SimDuration::from_nanos(delta), move |_| {
+                log3.borrow_mut().push(child_tag);
+            });
+            handles2.borrow_mut().push(cid);
+        }
+    });
+    handles.borrow_mut().push(id);
+}
+
+/// One scripted round: apply `ops` random operations to both engines,
+/// checking agreement after every step.
+fn run_script(seed: u64, ops: usize) {
+    let mut rng = XorShift::new(seed);
+    let mut reference = RefEngine::new();
+    let mut sim = Sim::new();
+    let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let handles: Rc<RefCell<Vec<ioat_simcore::EventId>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut next_tag = 0u64;
+
+    for step in 0..ops {
+        match rng.below(10) {
+            // 0..=5: schedule. Tiny delay range (0..16 ns) forces heavy
+            // (time) collisions so the FIFO seq tie-break is exercised;
+            // a quarter of events schedule a nested child on firing.
+            0..=5 => {
+                let delay = rng.below(16);
+                let tag = next_tag;
+                next_tag += 1;
+                let child = if rng.below(4) == 0 {
+                    let c = (rng.below(8), next_tag);
+                    next_tag += 1;
+                    Some(c)
+                } else {
+                    None
+                };
+                reference.schedule(delay, tag, child);
+                schedule_real(&mut sim, delay, tag, child, &log, &handles);
+            }
+            // 6..=7: cancel a random previously issued handle (possibly
+            // already fired or already cancelled — outcomes must agree).
+            6..=7 => {
+                let n = handles.borrow().len();
+                if n > 0 {
+                    let i = rng.below(n as u64) as usize;
+                    let id = handles.borrow()[i];
+                    let want = reference.cancel(i);
+                    let got = sim.cancel(id);
+                    assert_eq!(got, want, "seed {seed} step {step}: cancel({i}) outcome");
+                }
+            }
+            // 8..=9: run a short window.
+            _ => {
+                let window = rng.below(24);
+                let limit = reference.now + window;
+                reference.run_until(limit);
+                sim.run_until(SimTime::from_nanos(limit));
+                assert_eq!(
+                    sim.now(),
+                    SimTime::from_nanos(reference.now),
+                    "seed {seed} step {step}: clock"
+                );
+            }
+        }
+        assert_eq!(
+            sim.events_pending(),
+            reference.pending(),
+            "seed {seed} step {step}: pending count"
+        );
+        if *log.borrow() != reference.log {
+            let l = log.borrow();
+            let n = l.len().min(reference.log.len());
+            let mut i = 0;
+            while i < n && l[i] == reference.log[i] {
+                i += 1;
+            }
+            panic!(
+                "seed {seed} step {step}: diverge at {i}: real {:?} ref {:?}",
+                &l[i.saturating_sub(3)..(i + 5).min(l.len())],
+                &reference.log[i.saturating_sub(3)..(i + 5).min(reference.log.len())]
+            );
+        }
+    }
+
+    // Drain both completely and compare the full history.
+    let final_limit = reference.now + 1_000;
+    reference.run_until(final_limit);
+    sim.run_until(SimTime::from_nanos(final_limit));
+    assert_eq!(*log.borrow(), reference.log, "seed {seed}: final order");
+    assert_eq!(sim.events_pending(), reference.pending(), "seed {seed}");
+    assert_eq!(
+        sim.events_executed(),
+        reference.log.len() as u64,
+        "seed {seed}: executed count matches logged events"
+    );
+}
+
+#[test]
+fn indexed_queue_matches_binary_heap_reference() {
+    // A spread of fixed seeds; each script is a few hundred operations.
+    for seed in [1, 2, 3, 0xDEAD_BEEF, 0x1234_5678_9ABC_DEF0] {
+        run_script(seed, 400);
+    }
+}
+
+#[test]
+fn indexed_queue_matches_reference_under_cancel_storms() {
+    // Cancel-heavy mix: schedule then immediately cancel most events, so
+    // the real queue churns slots/generations while the reference churns
+    // tombstones. Order of the survivors must still agree.
+    for seed in [7, 11, 13] {
+        let mut rng = XorShift::new(seed);
+        let mut reference = RefEngine::new();
+        let mut sim = Sim::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let handles: Rc<RefCell<Vec<ioat_simcore::EventId>>> = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..2_000u64 {
+            let delay = rng.below(32);
+            reference.schedule(delay, tag, None);
+            schedule_real(&mut sim, delay, tag, None, &log, &handles);
+            // Cancel ~15/16ths of everything scheduled so far.
+            if rng.below(16) != 0 {
+                let i = rng.below(handles.borrow().len() as u64) as usize;
+                let id = handles.borrow()[i];
+                assert_eq!(sim.cancel(id), reference.cancel(i), "seed {seed} tag {tag}");
+            }
+            if rng.below(8) == 0 {
+                let limit = reference.now + rng.below(16);
+                reference.run_until(limit);
+                sim.run_until(SimTime::from_nanos(limit));
+            }
+        }
+        let limit = reference.now + 1_000;
+        reference.run_until(limit);
+        sim.run_until(SimTime::from_nanos(limit));
+        assert_eq!(*log.borrow(), reference.log, "seed {seed}: survivor order");
+        assert_eq!(sim.events_pending(), 0);
+    }
+}

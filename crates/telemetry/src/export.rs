@@ -97,10 +97,19 @@ pub fn chrome_trace_json(tracer: &Tracer) -> String {
             EventKind::Instant { at } => {
                 format!("{common},\"ph\":\"i\",\"s\":\"t\",\"ts\":{}", ts_us(at))
             }
-            EventKind::Counter { at, value } => format!(
-                "{common},\"ph\":\"C\",\"ts\":{},\"args\":{{\"value\":{value}}}",
-                ts_us(at)
-            ),
+            EventKind::Counter { at, value } => {
+                // JSON has no NaN/Infinity; a pathological counter value
+                // must not corrupt the whole trace document.
+                let v = if value.is_finite() {
+                    format!("{value}")
+                } else {
+                    "null".to_string()
+                };
+                format!(
+                    "{common},\"ph\":\"C\",\"ts\":{},\"args\":{{\"value\":{v}}}",
+                    ts_us(at)
+                )
+            }
         };
         push_obj(&mut out, body);
     }
@@ -242,6 +251,19 @@ mod tests {
         assert!(json.contains("\"dur\":2.250"));
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"irq \\\"x\\\"\\n\""), "name is escaped");
+    }
+
+    #[test]
+    fn non_finite_counter_values_export_as_null() {
+        let tr = Tracer::enabled();
+        let track = TrackId::new(0, 0);
+        tr.counter("a", Category::Other, track, t(1), f64::NAN);
+        tr.counter("b", Category::Other, track, t(2), f64::INFINITY);
+        tr.counter("c", Category::Other, track, t(3), f64::NEG_INFINITY);
+        let json = chrome_trace_json(&tr);
+        parse_trace_json(&json);
+        assert_eq!(json.matches("\"value\":null").count(), 3);
+        assert!(!json.contains("NaN") && !json.contains("inf"));
     }
 
     #[test]
