@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--list] [--quick] [--jobs N] [--json <path>] [--trace <path>] [target ...]
+//! repro [--list] [--quick] [--audit] [--jobs N] [--retries N]
+//!       [--fail <target>] [--json <path>] [--trace <path>] [target ...]
 //! ```
 //!
 //! With no targets (or `all`) every figure runs. `--list` prints the
@@ -18,6 +19,20 @@
 //! trace to `<path>` (and then exits unless figures were also
 //! requested). Unknown flags and unknown targets exit with status 2 and
 //! suggest the closest known name.
+//!
+//! Supervision (always on): every figure runs under the supervisor, so a
+//! panicking or wedged figure is isolated — the remaining figures run to
+//! completion with unchanged rows, the failure lands in the report as
+//! `status: "failed"` plus a classified `error`, a summary table prints
+//! at the end, and the process exits with status **3** (partial failure)
+//! instead of aborting mid-run. `--audit` additionally opens a runtime
+//! invariant-audit scope: conservation and lifecycle identities are
+//! checked at the end of every measurement window, and any violation
+//! fails the figure (rows are bit-identical with and without `--audit` —
+//! audits are pure reads). `--retries N` re-attempts a failed figure up
+//! to N extra times before recording the failure. `--fail <target>`
+//! injects a deliberate panic into that figure's sweep — CI's
+//! forced-failure smoke for this whole path.
 
 use ioat_bench as figs;
 use ioat_bench::report::{self, RunMeta};
@@ -52,7 +67,16 @@ const TARGETS: &[(&str, &str)] = &[
 ];
 
 /// Every flag the parser accepts, for "did you mean" on unknown flags.
-const FLAGS: &[&str] = &["--list", "--quick", "--jobs", "--json", "--trace"];
+const FLAGS: &[&str] = &[
+    "--list",
+    "--quick",
+    "--audit",
+    "--jobs",
+    "--retries",
+    "--fail",
+    "--json",
+    "--trace",
+];
 
 /// Classic dynamic-programming edit distance, for "did you mean".
 fn edit_distance(a: &str, b: &str) -> usize {
@@ -87,7 +111,8 @@ fn print_list() {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [--list] [--quick] [--jobs N] [--json <path>] [--trace <path>] [target ...]"
+        "usage: repro [--list] [--quick] [--audit] [--jobs N] [--retries N] \
+         [--fail <target>] [--json <path>] [--trace <path>] [target ...]"
     );
     std::process::exit(2);
 }
@@ -96,7 +121,10 @@ fn die(msg: &str) -> ! {
 struct Cli {
     list: bool,
     quick: bool,
+    audit: bool,
     jobs: usize,
+    retries: usize,
+    fail: Option<String>,
     json_path: Option<String>,
     trace_path: Option<String>,
     targets: Vec<String>,
@@ -111,17 +139,42 @@ fn parse_cli(args: Vec<String>) -> Cli {
     let mut cli = Cli {
         list: false,
         quick: false,
+        audit: false,
         jobs: figs::sweep::default_jobs(),
+        retries: 0,
+        fail: None,
         json_path: None,
         trace_path: None,
         targets: Vec::new(),
     };
     let mut jobs_seen = false;
+    let mut retries_seen = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--list" => cli.list = true,
             "--quick" => cli.quick = true,
+            "--audit" => cli.audit = true,
+            "--retries" => {
+                if retries_seen {
+                    die("--retries given more than once");
+                }
+                retries_seen = true;
+                let val = it
+                    .next()
+                    .unwrap_or_else(|| die("--retries needs an attempt count"));
+                cli.retries = val.parse::<usize>().unwrap_or_else(|_| {
+                    die(&format!(
+                        "--retries needs a non-negative integer, got '{val}'"
+                    ))
+                });
+            }
+            "--fail" => {
+                if cli.fail.is_some() {
+                    die("--fail given more than once");
+                }
+                cli.fail = Some(it.next().unwrap_or_else(|| die("--fail needs a target")));
+            }
             "--jobs" => {
                 if jobs_seen {
                     die("--jobs given more than once");
@@ -171,14 +224,25 @@ fn main() {
         ExperimentWindow::standard()
     };
 
-    // Validate every requested target before running anything.
+    // Validate every requested target (and --fail's) before running
+    // anything.
+    let known = |name: &str| TARGETS.iter().any(|(t, _)| *t == name);
     for name in &cli.targets {
-        if name != "all" && !TARGETS.iter().any(|(t, _)| t == name) {
+        if name != "all" && !known(name) {
             eprintln!(
                 "error: unknown target '{name}' — did you mean '{}'?",
                 closest(name, TARGETS.iter().map(|(t, _)| *t))
             );
             eprintln!("use --list to see all targets");
+            std::process::exit(2);
+        }
+    }
+    if let Some(name) = &cli.fail {
+        if !known(name) {
+            eprintln!(
+                "error: --fail wants a known target, '{name}' is not one — did you mean '{}'?",
+                closest(name, TARGETS.iter().map(|(t, _)| *t))
+            );
             std::process::exit(2);
         }
     }
@@ -193,12 +257,22 @@ fn main() {
 
     let start = std::time::Instant::now();
     let all = cli.targets.is_empty() || cli.targets.iter().any(|t| t == "all");
+    let opts = figs::SuperviseOpts {
+        audit: cli.audit,
+        retries: cli.retries,
+        event_budget: None,
+        force_fail: cli.fail.clone(),
+    };
     let mut results = Vec::new();
     for (name, _) in TARGETS {
         if all || cli.targets.iter().any(|t| t == name) {
-            let fig =
-                figs::run_figure(name, window, cli.jobs).expect("TARGETS only lists known figures");
-            figs::render(&fig);
+            let fig = figs::run_figure_supervised(name, window, cli.jobs, &opts)
+                .expect("TARGETS only lists known figures");
+            if let Some(reason) = &fig.error {
+                eprintln!("\n=== {name}: FAILED ===\n{reason}");
+            } else {
+                figs::render(&fig);
+            }
             results.push(fig);
         }
     }
@@ -220,5 +294,23 @@ fn main() {
             results.len(),
             cli.jobs
         );
+    }
+
+    // Partial-failure summary: one line per figure, failures last-word
+    // visible without scrolling, exit 3 so CI can tell "some figures
+    // failed but the report is intact" from a hard crash.
+    let failed = results.iter().filter(|f| f.failed()).count();
+    if failed > 0 {
+        eprintln!(
+            "\n=== run summary: {failed}/{} figures failed ===",
+            results.len()
+        );
+        for fig in &results {
+            match &fig.error {
+                Some(reason) => eprintln!("  {:<12} FAILED  {reason}", fig.name),
+                None => eprintln!("  {:<12} ok      ({:.0} ms)", fig.name, fig.wall_ms),
+            }
+        }
+        std::process::exit(3);
     }
 }

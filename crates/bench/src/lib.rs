@@ -119,6 +119,11 @@ pub struct FigureResult {
     /// Wall-clock spent building this figure, in milliseconds. Filled by
     /// [`run_figure`]; excluded from determinism comparisons.
     pub wall_ms: f64,
+    /// Why the figure failed, when it did: the supervisor's classified
+    /// reason (`panicked: ...` / `wedged: ...` / `audit: ...`). `None`
+    /// for a figure that completed cleanly; serialized as `status` +
+    /// `error` in the JSON report.
+    pub error: Option<String>,
 }
 
 impl FigureResult {
@@ -130,7 +135,13 @@ impl FigureResult {
             rows,
             notes: Vec::new(),
             wall_ms: 0.0,
+            error: None,
         }
+    }
+
+    /// True when the supervisor recorded a failure for this figure.
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
     }
 
     /// The standard comparison rows, or `None` for the specialized
@@ -783,6 +794,104 @@ pub fn run_figure(name: &str, window: ExperimentWindow, jobs: usize) -> Option<F
     Some(fig)
 }
 
+/// Options for [`run_figure_supervised`].
+#[derive(Debug, Clone, Default)]
+pub struct SuperviseOpts {
+    /// Open an audit scope around the figure (the `--audit` flag): every
+    /// runtime invariant check collects a structured violation instead of
+    /// debug-panicking, and any violation marks the figure failed. Audits
+    /// are pure reads over counters, so rows stay bit-identical either way.
+    pub audit: bool,
+    /// Extra whole-figure attempts after a failure before giving up.
+    pub retries: usize,
+    /// Deterministic watchdog: clamps every simulation the figure builds
+    /// to this many events, so a wedged job dies with a reproducible
+    /// `event limit exceeded` panic rather than hanging. Rides on the
+    /// audit scope, so it requires `audit`. `None` keeps the engine's
+    /// default 2·10⁹-event cap (still a hard bound, just a generous one).
+    pub event_budget: Option<u64>,
+    /// Inject a deliberate panic into the named figure's sweep (the
+    /// `--fail` flag): CI's forced-failure smoke uses this to prove a
+    /// crashing figure is isolated and reported without faking anything
+    /// in the reporting path itself.
+    pub force_fail: Option<String>,
+}
+
+/// [`run_figure`] under supervision: panics (including the event-budget
+/// watchdog's) and audit violations become [`FigureResult::error`]
+/// instead of crashing the run, after up to `opts.retries` whole-figure
+/// re-attempts. Successful figures are byte-for-byte what [`run_figure`]
+/// returns (modulo `wall_ms`). Returns `None` only for an unknown name.
+pub fn run_figure_supervised(
+    name: &str,
+    window: ExperimentWindow,
+    jobs: usize,
+    opts: &SuperviseOpts,
+) -> Option<FigureResult> {
+    let start = std::time::Instant::now();
+    let force = opts.force_fail.as_deref() == Some(name);
+    let mut attempts = 0usize;
+    loop {
+        attempts += 1;
+        let build = || {
+            if force {
+                // Push the deliberate panic through the sweep pool so the
+                // smoke exercises the exact worker/catch_unwind path a real
+                // point failure takes under `--jobs N`.
+                let poison: Vec<Box<dyn FnOnce() + Send>> = vec![
+                    Box::new(|| ()),
+                    Box::new(move || panic!("deliberate failure injected by --fail")),
+                ];
+                sweep::run_jobs(poison, jobs);
+            }
+            run_figure(name, window, jobs)
+        };
+        let (result, violations) = if opts.audit {
+            ioat_guard::with_audit_budget(opts.event_budget, build)
+        } else {
+            (
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(build)),
+                Vec::new(),
+            )
+        };
+        // A failure carries the classified reason plus, for audit
+        // failures, the rows that were built anyway (evidence for the
+        // report reader; `status: "failed"` still marks them suspect).
+        let (reason, partial) = match result {
+            Err(payload) => (ioat_guard::failure_reason(payload.as_ref()), None),
+            Ok(None) => return None,
+            Ok(Some(mut fig)) => {
+                if violations.is_empty() {
+                    fig.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                    return Some(fig);
+                }
+                (
+                    format!(
+                        "audit: {} violation(s); first: {}",
+                        violations.len(),
+                        violations[0]
+                    ),
+                    Some(fig),
+                )
+            }
+        };
+        if attempts <= opts.retries {
+            continue;
+        }
+        let mut fig = partial.unwrap_or_else(|| {
+            FigureResult::new(
+                name,
+                &format!("{name} (failed)"),
+                "",
+                FigureRows::Compare(Vec::new()),
+            )
+        });
+        fig.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        fig.error = Some(reason);
+        return Some(fig);
+    }
+}
+
 /// Runs the Fig. 7 configuration with tracing on, prints the per-category
 /// CPU split-up over the measurement window for non-I/OAT and full I/OAT,
 /// and writes the full-I/OAT run as a Perfetto-loadable Chrome trace plus
@@ -916,6 +1025,67 @@ mod tests {
         let fig = run_figure("fig6", ExperimentWindow::quick(), 1).expect("fig6 is known");
         assert_eq!(fig.name, "fig6");
         assert!(fig.wall_ms > 0.0);
+        assert!(fig.error.is_none(), "unsupervised success carries no error");
         assert!(run_figure("nope", ExperimentWindow::quick(), 1).is_none());
+    }
+
+    #[test]
+    fn supervision_and_audit_do_not_perturb_rows() {
+        // The --audit acceptance criterion at unit scale: rows must be
+        // bit-identical with the audit scope open and closed, because
+        // audits are pure reads at quiescent points.
+        let w = ExperimentWindow::quick();
+        let plain = run_figure("fig6", w, 2).expect("known");
+        let opts = SuperviseOpts {
+            audit: true,
+            ..SuperviseOpts::default()
+        };
+        let audited = run_figure_supervised("fig6", w, 2, &opts).expect("known");
+        assert!(audited.error.is_none(), "error: {:?}", audited.error);
+        assert_eq!(plain.rows, audited.rows);
+        assert_eq!(plain.notes, audited.notes);
+        assert!(
+            run_figure_supervised("nope", w, 2, &opts).is_none(),
+            "unknown names still return None under supervision"
+        );
+    }
+
+    #[test]
+    fn forced_failure_is_isolated_and_classified() {
+        let opts = SuperviseOpts {
+            force_fail: Some("fig6".to_string()),
+            ..SuperviseOpts::default()
+        };
+        let fig = run_figure_supervised("fig6", ExperimentWindow::quick(), 4, &opts)
+            .expect("known figure");
+        let reason = fig.error.as_deref().expect("forced failure is recorded");
+        assert!(reason.starts_with("panicked:"), "reason: {reason}");
+        assert!(
+            reason.contains("--fail"),
+            "reason names the cause: {reason}"
+        );
+        assert!(fig.rows.is_empty(), "a crashed figure reports no rows");
+        // The same options leave *other* figures untouched.
+        let ok = run_figure_supervised("abl-copy", ExperimentWindow::quick(), 4, &opts)
+            .expect("known figure");
+        assert!(ok.error.is_none());
+        assert!(!ok.rows.is_empty());
+    }
+
+    #[test]
+    fn event_budget_watchdog_reports_a_wedged_figure() {
+        // 5000 events is far below what even a quick fig3a point needs,
+        // so every simulation trips the deterministic watchdog; the
+        // supervisor must classify that as `wedged:`, not `panicked:`.
+        let opts = SuperviseOpts {
+            audit: true,
+            event_budget: Some(5_000),
+            ..SuperviseOpts::default()
+        };
+        let fig = run_figure_supervised("fig3a", ExperimentWindow::quick(), 2, &opts)
+            .expect("known figure");
+        let reason = fig.error.as_deref().expect("watchdog fired");
+        assert!(reason.starts_with("wedged:"), "reason: {reason}");
+        assert!(reason.contains("event limit"), "reason: {reason}");
     }
 }

@@ -3,10 +3,15 @@
 //! Hand-rolled JSON, same approach as `ioat-telemetry`'s Chrome-trace
 //! exporter: the offline build has no registry serde, and the in-tree
 //! `serde` facade is a no-op stub, so the writer walks [`FigureResult`]s
-//! directly. The document is stable enough to commit (`BENCH_pr3.json`)
+//! directly. The document is stable enough to commit (`BENCH_pr5.json`)
 //! and diff across PRs: figures appear in request order, rows in input
 //! order, and every number comes from a deterministic simulation — only
 //! the `*_wall_ms` fields vary between hosts.
+//!
+//! Schema `ioat-bench/2` adds per-figure `status` ("ok"/"failed") and
+//! `error` (the supervisor's classified failure reason, or null): a
+//! partial-failure run still produces a complete, parseable report with
+//! every surviving figure's rows intact.
 
 use crate::{FigureResult, FigureRows};
 use std::fmt::Write as _;
@@ -56,7 +61,7 @@ pub struct RunMeta {
 pub fn render_json(meta: &RunMeta, figures: &[FigureResult]) -> String {
     let mut out = String::with_capacity(figures.len() * 2048 + 256);
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"ioat-bench/1\",");
+    let _ = writeln!(out, "  \"schema\": \"ioat-bench/2\",");
     let _ = writeln!(out, "  \"quick\": {},", meta.quick);
     let _ = writeln!(out, "  \"jobs\": {},", meta.jobs);
     let _ = writeln!(out, "  \"total_wall_ms\": {},", num(meta.total_wall_ms));
@@ -73,14 +78,24 @@ pub fn render_json(meta: &RunMeta, figures: &[FigureResult]) -> String {
 }
 
 fn figure_json(fig: &FigureResult, indent: &str) -> String {
+    // Schema 2: `status` is "ok"/"failed" and `error` carries the
+    // supervisor's classified reason (or null). The fields sit between
+    // the identity header and `wall_ms` so partial-failure runs diff
+    // cleanly against a clean baseline (only the failed figure changes).
+    let error = match &fig.error {
+        Some(reason) => format!("\"{}\"", esc(reason)),
+        None => "null".to_string(),
+    };
     let mut out = String::new();
     let _ = write!(
         out,
         "{indent}{{\"name\": \"{}\", \"title\": \"{}\", \"unit\": \"{}\", \
+         \"status\": \"{}\", \"error\": {error}, \
          \"wall_ms\": {}, \"kind\": \"{}\",\n{indent} \"rows\": [",
         esc(&fig.name),
         esc(&fig.title),
         esc(&fig.unit),
+        if fig.failed() { "failed" } else { "ok" },
         num(fig.wall_ms),
         kind_name(&fig.rows),
     );
@@ -226,6 +241,7 @@ mod tests {
                 }]),
                 notes: vec!["a \"note\"".into()],
                 wall_ms: 12.5,
+                error: None,
             },
             FigureResult {
                 name: "abl-copy".into(),
@@ -237,6 +253,7 @@ mod tests {
                 }]),
                 notes: Vec::new(),
                 wall_ms: 0.1,
+                error: None,
             },
         ]
     }
@@ -250,14 +267,83 @@ mod tests {
         };
         let doc = render_json(&meta, &sample_figures());
         assert_well_formed(&doc);
-        assert!(doc.contains("\"schema\": \"ioat-bench/1\""));
+        assert!(doc.contains("\"schema\": \"ioat-bench/2\""));
         assert!(doc.contains("\"jobs\": 8"));
         assert!(doc.contains("\"name\": \"fig3a\""));
         assert!(doc.contains("\"kind\": \"compare\""));
         assert!(doc.contains("\"kind\": \"pinning\""));
+        assert!(doc.contains("\"status\": \"ok\""));
+        assert!(doc.contains("\"error\": null"));
+        assert!(!doc.contains("\"status\": \"failed\""));
         assert!(doc.contains("\"ioat_cpu\": null"), "NaN becomes null");
         assert!(doc.contains("\"pin_us\": [1, 2, 3]"));
         assert!(doc.contains("a \\\"note\\\""), "notes are escaped");
+    }
+
+    /// Inverse of [`esc`], for round-trip testing only: decodes the
+    /// escape sequences the writer can emit.
+    fn unescape(s: &str) -> String {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (&mut chars).take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).expect("4 hex digits");
+                    out.push(char::from_u32(code).expect("BMP scalar"));
+                }
+                other => panic!("unknown escape \\{other:?}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_strings_round_trip_and_keep_the_document_well_formed() {
+        // Every class of character that could break a JSON string:
+        // quotes, backslashes, the named control escapes, raw C0 controls
+        // (NUL, BEL, ESC), DEL-adjacent text, and non-ASCII.
+        let hostile = "q=\" bs=\\ nl=\n cr=\r tab=\t nul=\0 bel=\x07 esc=\x1b \
+                       u=✓ crab=🦀 end";
+        assert_eq!(unescape(&esc(hostile)), hostile, "escaper is lossless");
+        assert!(!esc(hostile).contains('\n'), "no raw control chars leak");
+        assert!(esc(hostile).contains("\\u0000"), "NUL uses \\u form");
+
+        // The same strings flowing through every user-controlled field of
+        // a failed figure must still yield a structurally valid document.
+        let fig = FigureResult {
+            name: hostile.into(),
+            title: hostile.into(),
+            unit: "\"".into(),
+            rows: FigureRows::Compare(vec![Row {
+                label: hostile.into(),
+                non_ioat: 1.0,
+                ioat: 2.0,
+                non_cpu: 0.1,
+                ioat_cpu: 0.2,
+            }]),
+            notes: vec![hostile.into()],
+            wall_ms: 1.0,
+            error: Some(format!("panicked: {hostile}")),
+        };
+        let meta = RunMeta {
+            quick: false,
+            jobs: 1,
+            total_wall_ms: 1.0,
+        };
+        let doc = render_json(&meta, &[fig]);
+        assert_well_formed(&doc);
+        assert!(doc.contains("\"status\": \"failed\""));
+        assert!(doc.contains("\"error\": \"panicked: "));
     }
 
     #[test]

@@ -100,9 +100,98 @@ fn quick_run_with_jobs_and_json_writes_report() {
         "table still renders alongside --json"
     );
     let doc = std::fs::read_to_string(&path).expect("report written");
-    assert!(doc.contains("\"schema\": \"ioat-bench/1\""));
+    assert!(doc.contains("\"schema\": \"ioat-bench/2\""));
     assert!(doc.contains("\"name\": \"fig6\""));
+    assert!(doc.contains("\"status\": \"ok\""));
+    assert!(doc.contains("\"error\": null"));
     assert!(doc.contains("\"jobs\": 2"));
     assert!(doc.contains("\"total_wall_ms\""));
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn retries_flag_validates_its_value() {
+    for bad in [&["--retries"][..], &["--retries", "soon"]] {
+        let out = repro(bad);
+        assert_eq!(out.status.code(), Some(2), "args: {bad:?}");
+        assert!(stderr(&out).contains("--retries"), "args: {bad:?}");
+    }
+    let out = repro(&["--retries", "1", "--retries", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("more than once"));
+}
+
+#[test]
+fn fail_flag_rejects_unknown_targets() {
+    let out = repro(&["--fail", "fig3c"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--fail"), "stderr: {err}");
+    assert!(err.contains("did you mean"), "stderr: {err}");
+}
+
+#[test]
+fn forced_failure_exits_3_with_a_partial_report() {
+    // The acceptance smoke for the whole supervision path: one figure is
+    // made to panic inside the sweep pool; the run must finish the other
+    // figure, write a complete JSON report marking only the poisoned
+    // figure failed, print a summary, and exit 3.
+    let path = std::env::temp_dir().join("ioat_bench_cli_fail_test.json");
+    let _ = std::fs::remove_file(&path);
+    let out = repro(&[
+        "--quick",
+        "--jobs",
+        "8",
+        "--fail",
+        "fig6",
+        "--json",
+        path.to_str().unwrap(),
+        "fig6",
+        "abl-copy",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("run summary"), "stderr: {err}");
+    assert!(err.contains("1/2 figures failed"), "stderr: {err}");
+    assert!(
+        stdout(&out).contains("Ablation A2"),
+        "the surviving figure still renders"
+    );
+    let doc = std::fs::read_to_string(&path).expect("partial report written");
+    assert!(doc.contains("\"name\": \"fig6\", \"title\": \"fig6 (failed)\""));
+    assert!(doc.contains("\"status\": \"failed\""));
+    assert!(doc.contains("deliberate failure injected by --fail"));
+    assert!(
+        doc.contains("\"name\": \"abl-copy\"") && doc.contains("\"status\": \"ok\""),
+        "surviving figure reports ok rows"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn audit_run_is_bit_identical_to_plain_run() {
+    // The --audit acceptance criterion, end to end through the real
+    // binary: same figure, same jobs, audit scope on vs off — the JSON
+    // rows must match exactly (only wall-clock fields may differ).
+    let strip = |doc: &str| -> String {
+        doc.lines()
+            .filter(|l| !l.contains("wall_ms"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let dir = std::env::temp_dir();
+    let plain = dir.join("ioat_bench_cli_plain.json");
+    let audited = dir.join("ioat_bench_cli_audited.json");
+    for (flags, path) in [(&[][..], &plain), (&["--audit"][..], &audited)] {
+        let mut args = vec!["--quick", "--jobs", "2", "--json", path.to_str().unwrap()];
+        args.extend_from_slice(flags);
+        args.push("fig6");
+        let out = repro(&args);
+        assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    }
+    let a = std::fs::read_to_string(&plain).expect("plain report");
+    let b = std::fs::read_to_string(&audited).expect("audited report");
+    assert_eq!(strip(&a), strip(&b), "--audit must not perturb any row");
+    let _ = std::fs::remove_file(&plain);
+    let _ = std::fs::remove_file(&audited);
 }

@@ -88,8 +88,15 @@ impl Cluster {
     pub fn new(seed: u64) -> Self {
         let _ = seed;
         let mut sim = Sim::new();
-        // Generous runaway guard; experiments run millions of events.
-        sim.set_event_limit(2_000_000_000);
+        // Generous runaway guard; experiments run millions of events. An
+        // active audit scope may impose a tighter deterministic watchdog
+        // so a wedged figure job dies after a fixed event count instead
+        // of spinning for the full runaway allowance.
+        let limit = match ioat_guard::event_budget() {
+            Some(budget) => budget.min(2_000_000_000),
+            None => 2_000_000_000,
+        };
+        sim.set_event_limit(limit);
         Cluster {
             sim,
             nodes: Vec::new(),
@@ -295,6 +302,36 @@ impl Cluster {
     /// Runs until `limit`.
     pub fn run_until(&mut self, limit: ioat_simcore::SimTime) -> ioat_simcore::SimTime {
         self.sim.run_until(limit)
+    }
+
+    /// Runs the full audit suite over the cluster at the current instant:
+    /// engine queue health, every node's conservation identities (plus its
+    /// DMA engine, when present) and the cross-node frame/byte
+    /// conservation check. Violations produced by this pass are also
+    /// surfaced as [`Category::Audit`] trace instants so they land next to
+    /// the activity that caused them in exported traces.
+    ///
+    /// Audits are pure reads — calling this cannot perturb the run.
+    pub fn run_audits(&self) {
+        let before = ioat_guard::violation_count();
+        let now = self.sim.now();
+        ioat_guard::audit_sim(&self.sim);
+        for node in &self.nodes {
+            node.borrow().audit(now);
+        }
+        stack::audit_cluster_conservation(&self.nodes, now, self.sim.events_pending() == 0);
+        if self.tracer.records(Category::Audit) {
+            for v in ioat_guard::violations_since(before) {
+                // Event names must be `'static`; the invariant name is,
+                // and it identifies the failed check unambiguously.
+                self.tracer.instant(
+                    v.invariant,
+                    Category::Audit,
+                    TrackId::new(SIM_TRACK_NODE, 0),
+                    v.at,
+                );
+            }
+        }
     }
 }
 

@@ -55,6 +55,12 @@ impl ExperimentWindow {
             cluster.stack(n).borrow_mut().begin_measurement(self.from());
         }
         cluster.run_until(self.to());
+        // Every figure harness funnels through here, so this one call
+        // gives the whole suite end-of-window invariant coverage. Gated:
+        // release sweeps without `--audit` skip even the cheap reads.
+        if ioat_guard::enabled() {
+            cluster.run_audits();
+        }
         (self.from(), self.to())
     }
 }

@@ -155,12 +155,70 @@ pub fn run_one_traced(
     let (from, to) = cfg.window.execute(&mut cluster, &[clients, server]);
     let rxs = cluster.stack(server).borrow();
     let txs = cluster.stack(clients).borrow();
+    audit_cycle_sum(&rxs, tracer, from, to);
     let result = ThroughputResult {
         mbps: rxs.rx_meter().mbps(to),
         rx_cpu: rxs.cpu_utilization(from, to),
         tx_cpu: txs.cpu_utilization(from, to),
     };
     (result, (from, to))
+}
+
+/// Fig. 7 accounting audit: the per-category CPU spans the tracer recorded
+/// for the receiver, clipped to the measurement window, must sum to the
+/// receiver cores' measured busy time *exactly* (integer nanoseconds, not
+/// within a tolerance). This holds because spans are emitted at job
+/// submission — in-flight jobs at window close already have their spans —
+/// and every `run_job` partitions its busy interval into spans with no gap
+/// or overlap. Only runs when the tracer records every CPU category (a
+/// filtered tracer would undercount by construction).
+fn audit_cycle_sum(
+    rx: &ioat_netsim::stack::HostStack,
+    tracer: &ioat_telemetry::Tracer,
+    from: ioat_simcore::SimTime,
+    to: ioat_simcore::SimTime,
+) {
+    use ioat_telemetry::{Category, EventKind};
+    let cpu_cats = [
+        Category::Interrupt,
+        Category::Protocol,
+        Category::Copy,
+        Category::Dma,
+        Category::App,
+    ];
+    if !ioat_guard::enabled() || !cpu_cats.iter().all(|&c| tracer.records(c)) {
+        return;
+    }
+    let node = rx.node_id();
+    let cores = rx.cores().len() as u32;
+    let mut span_ns = 0u64;
+    for ev in tracer.events() {
+        if let EventKind::Span { start, end } = ev.kind {
+            // CPU tracks only: the DMA channel's pseudo-track (core index
+            // == core count) carries engine busy time, not CPU cycles.
+            if ev.track.node == node && ev.track.core < cores {
+                let s = start.max(from);
+                let e = end.min(to);
+                if e > s {
+                    span_ns += e.as_nanos() - s.as_nanos();
+                }
+            }
+        }
+    }
+    let busy_ns = rx.cores().busy_between(from, to).as_nanos();
+    ioat_guard::check(
+        "core/splitup",
+        "Fig. 7 category cycles sum to measured busy time",
+        to,
+        span_ns == busy_ns,
+        || {
+            format!(
+                "receiver spans sum to {span_ns} ns but cores were busy {busy_ns} ns \
+                 over the window (delta {})",
+                span_ns as i128 - busy_ns as i128
+            )
+        },
+    );
 }
 
 /// Runs all three configurations at one message size.
@@ -213,6 +271,22 @@ mod tests {
             large.split_cpu_benefit(),
             large.split_throughput_benefit()
         );
+    }
+
+    #[test]
+    fn traced_run_passes_the_cycle_sum_audit_exactly() {
+        let (r, v) = ioat_guard::with_audit(|| {
+            let tracer = ioat_telemetry::Tracer::enabled();
+            let (res, _) = run_one_traced(
+                &SplitupConfig::quick_test(),
+                IoatConfig::full(),
+                64 * 1024,
+                &tracer,
+            );
+            res
+        });
+        assert!(r.unwrap().mbps > 0.0);
+        assert!(v.is_empty(), "cycle-sum audit must hold exactly: {v:?}");
     }
 
     #[test]

@@ -201,6 +201,10 @@ where
     let faults_active = cfg.faults.is_active();
     let retry = cfg.retry;
 
+    // Per-thread attempt-id mints, collected so the lifecycle audit can
+    // reconcile attempts against completions after the run.
+    let mut attempt_mints: Vec<Rc<RefCell<u64>>> = Vec::with_capacity(cfg.client_threads);
+
     for t in 0..cfg.client_threads {
         let cp = client_pairs[t % client_pairs.len()];
         let pw = tier_pairs[t % tier_pairs.len()];
@@ -215,6 +219,7 @@ where
         let req_sender: ReqSender = Rc::new(RefCell::new(None));
         let started_at = Rc::new(RefCell::new(SimTime::ZERO));
         let next_id: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+        attempt_mints.push(Rc::clone(&next_id));
         let waiting: Rc<RefCell<Option<u64>>> = Rc::new(RefCell::new(None));
         let attempt: Rc<RefCell<u32>> = Rc::new(RefCell::new(0));
         let current_req: Rc<RefCell<Option<Request>>> = Rc::new(RefCell::new(None));
@@ -437,6 +442,54 @@ where
     }
 
     let (from, to) = cfg.window.execute(&mut cluster, &[clients, proxy, web]);
+    if ioat_guard::enabled() {
+        // Request lifecycle conservation: every minted attempt id was
+        // answered in time (completed), expired at its deadline (timed
+        // out, then split exactly into retried vs. abandoned), or is the
+        // one attempt a thread still has in flight at window close.
+        let attempts: u64 = attempt_mints.iter().map(|m| *m.borrow()).sum();
+        let s = shared.borrow();
+        ioat_guard::check(
+            "datacenter/tiers",
+            "timeouts = retries + abandoned",
+            to,
+            s.timeouts == s.retries + s.failed,
+            || {
+                format!(
+                    "timeouts={} but retries={} + failed={}",
+                    s.timeouts, s.retries, s.failed
+                )
+            },
+        );
+        let settled = s.completed.total() + s.timeouts;
+        let in_flight_cap = cfg.client_threads as u64;
+        ioat_guard::check(
+            "datacenter/tiers",
+            "attempts = completed + timed-out + in-flight (≤ one per thread)",
+            to,
+            settled <= attempts && attempts <= settled + in_flight_cap,
+            || {
+                format!(
+                    "minted {attempts} attempt ids vs completed={} + timeouts={} \
+                     with {in_flight_cap} threads",
+                    s.completed.total(),
+                    s.timeouts
+                )
+            },
+        );
+        ioat_guard::check(
+            "datacenter/tiers",
+            "stale responses ≤ timeouts",
+            to,
+            s.stale_responses <= s.timeouts,
+            || {
+                format!(
+                    "stale_responses={} but only {} timeouts",
+                    s.stale_responses, s.timeouts
+                )
+            },
+        );
+    }
     let elapsed = (to - from).as_secs_f64();
     let result = {
         let shared = shared.borrow();

@@ -141,9 +141,15 @@ impl ZipfTrace {
     ///
     /// # Panics
     ///
-    /// Panics if `alpha` is negative.
+    /// Panics if `alpha` is negative or the catalog is empty — an empty
+    /// catalog would make every CDF entry `0/0 = NaN` and `next_request`
+    /// underflow on `len() - 1`.
     pub fn new(catalog: FileCatalog, alpha: f64, rng: SimRng) -> Self {
         assert!(alpha >= 0.0, "alpha must be non-negative");
+        assert!(
+            !catalog.is_empty(),
+            "Zipf trace over an empty catalog — no documents to sample"
+        );
         let n = catalog.len();
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
@@ -207,6 +213,16 @@ impl Trace for ZipfTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "empty catalog")]
+    fn zipf_trace_over_empty_catalog_is_rejected() {
+        // The public constructors already refuse n = 0, so build the
+        // empty catalog directly: this guards the trace against any
+        // future catalog source that slips one through.
+        let catalog = FileCatalog { sizes: Vec::new() };
+        let _ = ZipfTrace::new(catalog, 0.9, SimRng::seed_from(1));
+    }
 
     #[test]
     fn single_file_always_returns_same_request() {

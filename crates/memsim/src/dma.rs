@@ -112,6 +112,10 @@ pub struct DmaStats {
     /// Copies the stack wanted to offload but ran on the CPU instead
     /// because the channel was unavailable (fault-injected down window).
     pub cpu_fallbacks: u64,
+    /// Copies whose completion callback has fired.
+    pub completed_requests: u64,
+    /// Bytes whose transfer has completed.
+    pub completed_bytes: u64,
 }
 
 /// The copy engine: one serialized channel plus cost bookkeeping.
@@ -185,6 +189,30 @@ impl DmaEngine {
     /// the copy through its CPU path.
     pub fn note_fallback(&mut self) {
         self.stats.cpu_fallbacks += 1;
+    }
+
+    /// Conservation audit: completions never outrun postings — every byte
+    /// posted to the channel is either completed or still in flight
+    /// (fallbacks are never posted, so they appear in neither side). At a
+    /// drained queue `requests == completed_requests` additionally holds;
+    /// the in-flight slack here keeps the check valid mid-run.
+    pub fn audit(&self, component: &str, now: SimTime) {
+        ioat_guard::check(
+            component,
+            "DMA completions ≤ postings",
+            now,
+            self.stats.completed_requests <= self.stats.requests
+                && self.stats.completed_bytes <= self.stats.bytes,
+            || {
+                format!(
+                    "completed {} reqs / {} B vs posted {} reqs / {} B",
+                    self.stats.completed_requests,
+                    self.stats.completed_bytes,
+                    self.stats.requests,
+                    self.stats.bytes
+                )
+            },
+        );
     }
 
     /// The engine channel's busy-time accounting (for utilization plots).
@@ -262,9 +290,15 @@ impl DmaEngine {
         };
         let this2 = Rc::clone(this);
         let channel = Rc::clone(&this.borrow().channel);
+        let len = req.len();
         let done = {
             let mut chan = channel.borrow_mut();
             chan.run_job(sim, transfer, move |sim| {
+                {
+                    let mut eng = this2.borrow_mut();
+                    eng.stats.completed_requests += 1;
+                    eng.stats.completed_bytes += len;
+                }
                 if let Some(cache) = this2.borrow().cache.clone() {
                     cache.borrow_mut().invalidate_range(req.dst);
                 }

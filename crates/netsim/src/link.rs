@@ -30,7 +30,16 @@ pub struct Link {
 
 impl Link {
     /// Creates a link with the given line rate and one-way latency.
+    ///
+    /// # Panics
+    /// A zero line rate would make every transfer time infinite (and the
+    /// utilization math divide by zero), so it is rejected here instead of
+    /// surfacing as a hang deep inside a run.
     pub fn new(name: &str, bandwidth: Bandwidth, latency: SimDuration) -> Self {
+        assert!(
+            bandwidth.as_bps() > 0,
+            "link '{name}' configured with zero bandwidth — transfers would never complete"
+        );
         Link {
             tx: Resource::new_ref(format!("link-{name}")),
             bandwidth,
@@ -190,6 +199,15 @@ mod tests {
         sim.run();
         // 12 us serialization + 10 us latency; second starts at 50 us.
         assert_eq!(*times.borrow(), vec![22_000, 72_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_link_is_rejected() {
+        // `Bandwidth::from_bps` already rejects zero at construction; the
+        // assert in `Link::new` is defense-in-depth for any future
+        // constructor that slips a zero rate through.
+        let _ = Link::new("z", Bandwidth::from_bps(0), SimDuration::ZERO);
     }
 
     #[test]

@@ -102,6 +102,19 @@ pub struct StackStats {
     pub rto_timeouts: u64,
     /// Deliveries forced onto the CPU copy path by a DMA-down window.
     pub dma_fallbacks: u64,
+    /// Frames this stack put on the wire (including ones the loss model
+    /// drops — the NIC still transmitted them). Feeds the cluster-level
+    /// frame-conservation audit.
+    pub frames_sent: u64,
+    /// Frames that reached this stack's NIC and were accepted into a port's
+    /// pending ring (ring-overflow drops excluded). At any event boundary
+    /// `frames_arrived == frames_processed + Σ pending_frames.len()`.
+    pub frames_arrived: u64,
+    /// Largest peer-advertised window observed at a send. Bounds any single
+    /// go-back-N rewind (`in_flight` never exceeds it), so
+    /// `retransmitted_bytes ≤ retransmits × peak_window` is an exact
+    /// invariant, not a heuristic.
+    pub peak_window: u64,
 }
 
 /// A simulated host: cores, cache, optional DMA engine, NIC ports and the
@@ -160,6 +173,10 @@ impl HostStack {
         ioat: IoatConfig,
         cache_cfg: CacheConfig,
     ) -> StackRef {
+        assert!(
+            cores > 0,
+            "host stack '{name}' configured with zero cores — nothing could run the kernel path"
+        );
         let cache: CacheRef = Rc::new(RefCell::new(Cache::new(cache_cfg)));
         let dma = ioat
             .dma_engine
@@ -220,9 +237,103 @@ impl HostStack {
         self.dma.as_ref()
     }
 
+    /// The node id this stack's trace tracks are attributed to (0 until
+    /// [`HostStack::set_tracer`] assigns one).
+    pub fn node_id(&self) -> u32 {
+        self.node_id
+    }
+
     /// Running statistics.
     pub fn stats(&self) -> StackStats {
         self.stats
+    }
+
+    /// Runs the stack's conservation audits.
+    ///
+    /// Every identity checked here is exact at any event boundary — none
+    /// depends on the run being drained — so the method is safe to call
+    /// mid-run as well as at window close. Failures route through
+    /// [`ioat_guard::check`]: collected as structured violations inside an
+    /// audit scope, a panic in debug builds otherwise, silent in release
+    /// builds without `--audit`.
+    pub fn audit(&self, now: SimTime) {
+        let component = format!("netsim/{}", self.name);
+        let queued: u64 = self.conns.values().map(|c| c.recv.queued()).sum();
+        ioat_guard::check(
+            &component,
+            "backlog bytes = Σ per-conn undelivered",
+            now,
+            self.queued_bytes == queued,
+            || {
+                format!(
+                    "cached queued_bytes={} but Σ recv.queued()={queued}",
+                    self.queued_bytes
+                )
+            },
+        );
+        let delivered: u64 = self.conns.values().map(|c| c.recv.delivered_seq).sum();
+        ioat_guard::check(
+            &component,
+            "delivered bytes = Σ per-conn delivered_seq",
+            now,
+            self.rx_meter.total_bytes() == delivered,
+            || {
+                format!(
+                    "rx meter recorded {} B but Σ recv.delivered_seq={delivered} B",
+                    self.rx_meter.total_bytes()
+                )
+            },
+        );
+        let pending: u64 = self
+            .ports
+            .iter()
+            .map(|p| p.pending_frames.len() as u64)
+            .sum();
+        ioat_guard::check(
+            &component,
+            "frame conservation: arrived = processed + pending",
+            now,
+            self.stats.frames_arrived == self.stats.frames_processed + pending,
+            || {
+                format!(
+                    "frames_arrived={} but frames_processed={} + pending={pending}",
+                    self.stats.frames_arrived, self.stats.frames_processed
+                )
+            },
+        );
+        let copying = self.conns.values().filter(|c| c.recv.copying).count() as u64;
+        ioat_guard::check(
+            &component,
+            "DMA deliveries ≤ completed deliveries + copies in flight",
+            now,
+            self.stats.dma_deliveries <= self.stats.deliveries + copying,
+            || {
+                format!(
+                    "dma_deliveries={} but deliveries={} with {copying} copies in flight",
+                    self.stats.dma_deliveries, self.stats.deliveries
+                )
+            },
+        );
+        // Each retransmission round rewinds exactly `in_flight` bytes, and
+        // in-flight never exceeds the largest window the peer advertised
+        // at a send — the paper's conservation argument for Fig. 6's loss
+        // sensitivity rests on retransmitted traffic being window-bounded.
+        let bound = self.stats.retransmits * self.stats.peak_window;
+        ioat_guard::check(
+            &component,
+            "retransmitted bytes ≤ retransmits × peak window",
+            now,
+            self.stats.retransmitted_bytes <= bound,
+            || {
+                format!(
+                    "retransmitted_bytes={} exceeds {} rounds × peak_window={}",
+                    self.stats.retransmitted_bytes, self.stats.retransmits, self.stats.peak_window
+                )
+            },
+        );
+        if let Some(engine) = &self.dma {
+            engine.borrow().audit(&component, now);
+        }
     }
 
     /// Attaches a tracer. `node_id` becomes the Chrome-trace pid; each
@@ -732,8 +843,11 @@ fn pump_frames(s: &StackRef, sim: &mut Sim, conn: ConnId) {
         if train.is_empty() {
             return;
         }
+        let peer_window = c.send.peer_window;
+        st.stats.peak_window = st.stats.peak_window.max(peer_window);
         for (frame, lost) in &mut train {
             st.tx_meter.record(now, frame.payload);
+            st.stats.frames_sent += 1;
             *lost = st.faults.frame_lost(port_idx);
             if *lost {
                 st.stats.frames_dropped += 1;
@@ -834,6 +948,19 @@ pub fn frame_arrived(s: &StackRef, sim: &mut Sim, port: usize, frame: Frame) {
                 st.stats.rx_ring_drops += 1;
                 st.fault_instant("rx_ring_drop", now);
                 return;
+            }
+        }
+        #[cfg(not(feature = "audit-bug"))]
+        {
+            st.stats.frames_arrived += 1;
+        }
+        #[cfg(feature = "audit-bug")]
+        {
+            // Test-only accounting bug: silently drop every 97th increment
+            // so the frame-conservation audit has a known defect to catch.
+            // Only this counter is skewed; behavior is untouched.
+            if st.stats.frames_arrived % 97 != 96 {
+                st.stats.frames_arrived += 1;
             }
         }
         // The NIC's DMA write lands the payload in kernel memory and
@@ -1262,6 +1389,55 @@ fn finish_delivery(s: &StackRef, sim: &mut Sim, conn: ConnId, bytes: u64) {
     try_deliver(s, sim, conn);
 }
 
+/// Cross-stack frame/byte conservation over a set of wired stacks: every
+/// frame a sender injects is delivered into a pending ring, dropped by the
+/// loss model, dropped at a full rx ring, or still on the wire. With
+/// `quiescent` (event queue drained — nothing can be on the wire) the frame
+/// identity tightens to exact equality.
+pub fn audit_cluster_conservation(stacks: &[StackRef], now: SimTime, quiescent: bool) {
+    let mut sent = 0u64;
+    let mut arrived = 0u64;
+    let mut lost = 0u64;
+    let mut ring_dropped = 0u64;
+    let mut tx_bytes = 0u64;
+    let mut rx_bytes = 0u64;
+    for s in stacks {
+        let st = s.borrow();
+        let stats = st.stats();
+        sent += stats.frames_sent;
+        arrived += stats.frames_arrived;
+        lost += stats.frames_dropped;
+        ring_dropped += stats.rx_ring_drops;
+        tx_bytes += st.tx_meter().total_bytes();
+        rx_bytes += st.rx_meter().total_bytes();
+    }
+    let accounted = arrived + lost + ring_dropped;
+    let ok = if quiescent {
+        sent == accounted
+    } else {
+        sent >= accounted
+    };
+    ioat_guard::check(
+        "netsim/cluster",
+        "frame conservation: sent = arrived + lost + ring-dropped + in-flight",
+        now,
+        ok,
+        || {
+            format!(
+                "frames_sent={sent} vs arrived={arrived} + lost={lost} + \
+                 ring_dropped={ring_dropped} (quiescent={quiescent})"
+            )
+        },
+    );
+    ioat_guard::check(
+        "netsim/cluster",
+        "delivered bytes ≤ injected bytes",
+        now,
+        rx_bytes <= tx_bytes,
+        || format!("rx meters total {rx_bytes} B but tx meters injected only {tx_bytes} B"),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1465,6 +1641,68 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.name == "dma_transfer" && e.track == TrackId::new(1, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cores")]
+    fn zero_core_stack_is_rejected() {
+        let _ = HostStack::new("z", 0, StackParams::default(), IoatConfig::disabled());
+    }
+
+    #[cfg(not(feature = "audit-bug"))]
+    #[test]
+    fn conservation_audits_pass_on_healthy_and_faulty_runs() {
+        // Loss + a DMA-down window + a bounded rx ring, all at once: the
+        // audits must stay silent because recovery conserves every byte.
+        let (mut sim, a, b, conn) = pair(IoatConfig::full(), SocketOpts::tuned());
+        let plan = ioat_faults::FaultPlan {
+            dma_down: vec![ioat_faults::TimeWindow::new(
+                SimTime::from_micros(500),
+                SimTime::from_micros(2_000),
+            )],
+            rx_ring_slots: Some(8),
+            ..ioat_faults::FaultPlan::bernoulli_loss(0xF00D, 2e-3)
+        };
+        a.borrow_mut()
+            .set_fault_injector(FaultInjector::new(&plan, 0));
+        b.borrow_mut()
+            .set_fault_injector(FaultInjector::new(&plan, 1));
+        app_send(&a, &mut sim, conn, 3_000_000);
+        let end = sim.run();
+        let (res, violations) = ioat_guard::with_audit(|| {
+            a.borrow().audit(end);
+            b.borrow().audit(end);
+            audit_cluster_conservation(&[Rc::clone(&a), Rc::clone(&b)], end, true);
+            ioat_guard::audit_sim(&sim);
+        });
+        assert!(res.is_ok());
+        assert!(
+            violations.is_empty(),
+            "unexpected violations: {violations:?}"
+        );
+    }
+
+    /// With the `audit-bug` feature the frame-arrival counter silently
+    /// drops every 97th increment; the conservation audits must catch it
+    /// as a structured violation (this is the acceptance-criteria check
+    /// that the audits detect a real accounting bug, not just tautologies).
+    #[cfg(feature = "audit-bug")]
+    #[test]
+    fn injected_accounting_bug_is_caught_by_the_frame_audit() {
+        let (mut sim, a, b, conn) = pair(IoatConfig::disabled(), SocketOpts::tuned());
+        app_send(&a, &mut sim, conn, 1_000_000); // ≫ 97 frames
+        let end = sim.run();
+        let (res, violations) = ioat_guard::with_audit(|| {
+            b.borrow().audit(end);
+            audit_cluster_conservation(&[Rc::clone(&a), Rc::clone(&b)], end, true);
+        });
+        assert!(res.is_ok());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant.contains("frame conservation")),
+            "skewed counter must trip the frame-conservation audit: {violations:?}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::layout::{Layout, StripePiece};
 use ioat_faults::{FaultInjector, RetryPolicy};
 use ioat_netsim::msg::MsgSender;
 use ioat_netsim::Socket;
-use ioat_simcore::{Counter, Sim, SimDuration};
+use ioat_simcore::{Counter, Sim, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -94,6 +94,8 @@ struct State {
     faults: FaultInjector,
     retry: RetryPolicy,
     stats: ClientFaultStats,
+    /// Ops whose reply arrived in time (lifecycle audit bookkeeping).
+    completed_ops: u64,
 }
 
 /// One compute-node client process.
@@ -143,6 +145,7 @@ impl ClientProcess {
                 faults: FaultInjector::inert(),
                 retry: RetryPolicy::default(),
                 stats: ClientFaultStats::default(),
+                completed_ops: 0,
             })),
             senders: Rc::new(RefCell::new(Vec::new())),
             socket_for_compute,
@@ -161,6 +164,79 @@ impl ClientProcess {
     /// Fault/recovery counters accumulated so far.
     pub fn fault_stats(&self) -> ClientFaultStats {
         self.state.borrow().stats
+    }
+
+    /// Request-lifecycle audit: every minted op id leaves the outstanding
+    /// map exactly one way — answered in time, expired at its deadline
+    /// (then retried or abandoned), or still pending. Exact identities,
+    /// valid at any event boundary.
+    pub fn audit(&self, now: SimTime) {
+        let st = self.state.borrow();
+        let component = "pvfs/client";
+        ioat_guard::check(
+            component,
+            "ops minted = completed + timed-out + pending",
+            now,
+            st.next_op == st.completed_ops + st.stats.timeouts + st.ops.len() as u64,
+            || {
+                format!(
+                    "next_op={} but completed={} + timeouts={} + pending={}",
+                    st.next_op,
+                    st.completed_ops,
+                    st.stats.timeouts,
+                    st.ops.len()
+                )
+            },
+        );
+        ioat_guard::check(
+            component,
+            "timeouts = retries + abandoned",
+            now,
+            st.stats.timeouts == st.stats.retries + st.stats.failed_ops,
+            || {
+                format!(
+                    "timeouts={} but retries={} + failed_ops={}",
+                    st.stats.timeouts, st.stats.retries, st.stats.failed_ops
+                )
+            },
+        );
+        ioat_guard::check(
+            component,
+            "failovers ≤ retries",
+            now,
+            st.stats.failovers <= st.stats.retries,
+            || {
+                format!(
+                    "failovers={} > retries={}",
+                    st.stats.failovers, st.stats.retries
+                )
+            },
+        );
+        ioat_guard::check(
+            component,
+            "stale replies ≤ timeouts",
+            now,
+            st.stats.stale_replies <= st.stats.timeouts,
+            || {
+                format!(
+                    "stale_replies={} > timeouts={}",
+                    st.stats.stale_replies, st.stats.timeouts
+                )
+            },
+        );
+        ioat_guard::check(
+            component,
+            "outstanding mirror = pending map size",
+            now,
+            st.outstanding == st.ops.len(),
+            || {
+                format!(
+                    "cached outstanding={} but ops map holds {}",
+                    st.outstanding,
+                    st.ops.len()
+                )
+            },
+        );
     }
 
     /// Registers the request sender for server `index` (must be called
@@ -194,6 +270,7 @@ impl ClientProcess {
                 };
                 let len = opst.piece.len;
                 st.outstanding -= 1;
+                st.completed_ops += 1;
                 st.done.borrow_mut().add_at(sim.now(), len);
                 st.params.piece_cost(len)
             };

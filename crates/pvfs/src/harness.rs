@@ -216,6 +216,11 @@ fn run_traced(cfg: &PvfsConfig, mode: IoMode, tracer: &Tracer) -> PvfsResult {
     }
 
     let (from, to) = cfg.window.execute(&mut cluster, &[compute, server]);
+    if ioat_guard::enabled() {
+        for p in &processes {
+            p.audit(to);
+        }
+    }
     let elapsed = (to - from).as_secs_f64();
     let result = {
         let cs = cluster.stack(compute).borrow();

@@ -199,6 +199,12 @@ pub struct Sim {
     /// Stale heap entries left behind by cancellations.
     stale: usize,
     executed: u64,
+    /// Monotonic count of every event ever scheduled. Unlike `stale`,
+    /// never decremented — together with `cancelled` it backs the
+    /// queue-health audit `scheduled = fired + cancelled + live`.
+    scheduled: u64,
+    /// Monotonic count of successful cancellations.
+    cancelled: u64,
     /// Hard cap on executed events; guards against accidental infinite
     /// event loops in model code.
     event_limit: u64,
@@ -237,6 +243,8 @@ impl Sim {
             live: 0,
             stale: 0,
             executed: 0,
+            scheduled: 0,
+            cancelled: 0,
             event_limit: u64::MAX,
             hook: None,
         }
@@ -250,6 +258,17 @@ impl Sim {
     /// Number of events executed so far.
     pub fn events_executed(&self) -> u64 {
         self.executed
+    }
+
+    /// Number of events ever scheduled (monotonic).
+    pub fn events_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Number of events successfully cancelled (monotonic — unlike the
+    /// stale-entry count, which drains as tombstones are swept).
+    pub fn events_cancelled(&self) -> u64 {
+        self.cancelled
     }
 
     /// Number of *live* events still pending. Cancelled events are
@@ -374,6 +393,7 @@ impl Sim {
         };
         self.heap.push(HeapEntry { at, seq, slot, gen });
         self.live += 1;
+        self.scheduled += 1;
         EventId { slot, gen }
     }
 
@@ -393,6 +413,7 @@ impl Sim {
                 self.free.push(id.slot);
                 self.live -= 1;
                 self.stale += 1;
+                self.cancelled += 1;
                 self.maybe_compact();
                 true
             }
@@ -565,6 +586,7 @@ impl Sim {
                 continue;
             }
             let (at, seq, action) = self.pop_next().expect("peek_next_at saw a live event");
+            debug_assert!(at >= self.now, "event time went backwards");
             self.now = at;
             self.count_executed();
             if let Some(hook) = self.hook.clone() {
@@ -649,6 +671,37 @@ mod tests {
         sim.run();
         assert_eq!(*log.borrow(), vec![1]);
         assert!(!sim.cancel(keep), "cancelling an executed event is false");
+    }
+
+    #[test]
+    fn scheduled_and_cancelled_counters_are_monotonic_and_balance() {
+        // The queue-health identity the ioat-guard audit checks:
+        // scheduled = fired + cancelled + live, at any quiescent point.
+        // `stale` cannot back this audit — it drains as tombstones sweep.
+        let mut sim = Sim::new();
+        let (_log, mk) = recorder();
+        let balance = |sim: &Sim| {
+            assert_eq!(
+                sim.events_scheduled(),
+                sim.events_executed() + sim.events_cancelled() + sim.events_pending() as u64
+            );
+        };
+        balance(&sim);
+        let ids: Vec<_> = (0..10)
+            .map(|i| sim.schedule(SimDuration::from_nanos(10 + i), mk(i)))
+            .collect();
+        assert_eq!(sim.events_scheduled(), 10);
+        balance(&sim);
+        for id in &ids[..4] {
+            assert!(sim.cancel(*id));
+        }
+        assert!(!sim.cancel(ids[0]), "double cancel does not re-count");
+        assert_eq!(sim.events_cancelled(), 4);
+        balance(&sim);
+        sim.run();
+        assert_eq!(sim.events_executed(), 6);
+        assert_eq!(sim.events_scheduled(), 10, "monotonic across the run");
+        balance(&sim);
     }
 
     #[test]

@@ -37,11 +37,15 @@ pub enum Category {
     Sim,
     /// Anything else.
     Other,
+    /// Runtime invariant-audit events (violations surfaced by
+    /// `ioat-guard`). Appended last so existing discriminants — and any
+    /// traces serialized with them — stay stable.
+    Audit,
 }
 
 impl Category {
     /// All categories, in display order.
-    pub const ALL: [Category; 10] = [
+    pub const ALL: [Category; 11] = [
         Category::Interrupt,
         Category::Protocol,
         Category::Copy,
@@ -52,6 +56,7 @@ impl Category {
         Category::Fault,
         Category::Sim,
         Category::Other,
+        Category::Audit,
     ];
 
     /// Stable lowercase name (used in exports).
@@ -67,6 +72,7 @@ impl Category {
             Category::Fault => "fault",
             Category::Sim => "sim",
             Category::Other => "other",
+            Category::Audit => "audit",
         }
     }
 
@@ -383,6 +389,10 @@ mod tests {
         let tr = Tracer::enabled();
         assert!(tr.records(Category::Interrupt));
         assert!(!tr.records(Category::Sim));
+        // Audit violations are rare and load-bearing: the default tracer
+        // must keep them even though it drops engine noise.
+        assert!(tr.records(Category::Audit));
+        assert_eq!(Category::Audit.name(), "audit");
         let all = Tracer::all();
         assert!(all.records(Category::Sim));
     }
