@@ -64,6 +64,10 @@ const TARGETS: &[(&str, &str)] = &[
         "abl-faults",
         "Ablation A3: frame-loss sweep + PVFS daemon crash/failover",
     ),
+    (
+        "fig_fabric",
+        "Fabric: fat-tree datacenter TPS, hosts x oversubscription",
+    ),
 ];
 
 /// Every flag the parser accepts, for "did you mean" on unknown flags.

@@ -20,6 +20,7 @@ use ioat_core::metrics::ExperimentWindow;
 use ioat_core::microbench::{bandwidth, bidirectional, copybench, multistream, sockopts, splitup};
 use ioat_core::{IoatConfig, SocketOpts};
 use ioat_datacenter::emulated::{self, EmulatedConfig};
+use ioat_datacenter::scale::{self, ScaleConfig};
 use ioat_datacenter::tiers::{self, DataCenterConfig};
 use ioat_pvfs::harness::{concurrent_read, concurrent_write, multi_stream_read, PvfsConfig};
 
@@ -119,6 +120,16 @@ pub struct FigureResult {
     /// Wall-clock spent building this figure, in milliseconds. Filled by
     /// [`run_figure`]; excluded from determinism comparisons.
     pub wall_ms: f64,
+    /// Simulator events executed across every simulation the figure
+    /// built, when the builder reports them (the `fig_fabric` family
+    /// does; 0 elsewhere). Deterministic — included in comparisons; the
+    /// JSON report derives `events_per_sec` from this and `wall_ms`.
+    pub sim_events: u64,
+    /// Peak resident set size of the process (Linux `VmHWM`) observed
+    /// when the figure finished, in bytes; `None` off-Linux. A process
+    /// high-water mark, so host-dependent and monotone across figures —
+    /// excluded from determinism comparisons.
+    pub peak_rss_bytes: Option<u64>,
     /// Why the figure failed, when it did: the supervisor's classified
     /// reason (`panicked: ...` / `wedged: ...` / `audit: ...`). `None`
     /// for a figure that completed cleanly; serialized as `status` +
@@ -135,6 +146,8 @@ impl FigureResult {
             rows,
             notes: Vec::new(),
             wall_ms: 0.0,
+            sim_events: 0,
+            peak_rss_bytes: None,
             error: None,
         }
     }
@@ -765,6 +778,106 @@ pub fn ablation_faults(window: ExperimentWindow, jobs: usize) -> FigureResult {
     fig
 }
 
+/// The fabric family — the datacenter behind a fat-tree Clos fabric
+/// (`ioat_datacenter::scale`), swept over host count × oversubscription
+/// with I/OAT on/off. Quick windows run a two-point smoke on a 1024-host
+/// fat-tree(16) with ~10 K emulated clients; full windows add the
+/// oversubscription sweep at ~100 K clients and the fat-tree(24)
+/// headline point fronting ~10⁶ clients. Unlike the paper figures this
+/// family also reports simulator scale: total events executed (and thus
+/// events/sec in the JSON report) plus per-point tail-latency and
+/// switch-drop notes.
+pub fn fig_fabric(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    let quick = window.measure <= ExperimentWindow::quick().measure;
+    let points: Vec<(usize, f64, usize)> = if quick {
+        vec![(16, 1.0, 10_240), (16, 4.0, 10_240)]
+    } else {
+        vec![
+            (16, 1.0, 102_400),
+            (16, 2.0, 102_400),
+            (16, 4.0, 102_400),
+            (24, 4.0, 1_000_512),
+        ]
+    };
+    fig_fabric_points(points, window, jobs)
+}
+
+/// The `fig_fabric` sweep over an explicit `(k, oversubscription,
+/// clients)` point list. The determinism suite drives this with a
+/// miniature point set (debug builds cannot afford 1024-host sweeps);
+/// [`fig_fabric`] is exactly this with the standard points.
+pub fn fig_fabric_points(
+    points: Vec<(usize, f64, usize)>,
+    window: ExperimentWindow,
+    jobs: usize,
+) -> FigureResult {
+    let results = sweep::run_jobs(
+        points
+            .into_iter()
+            .map(|(k, oversub, clients)| {
+                move || {
+                    let mut non_cfg =
+                        ScaleConfig::fat_tree(k, oversub, clients, IoatConfig::disabled());
+                    non_cfg.window = window;
+                    let mut ioat_cfg = non_cfg;
+                    ioat_cfg.ioat = IoatConfig::full();
+                    let non = scale::run(&non_cfg);
+                    let ioat = scale::run(&ioat_cfg);
+                    let row = Row {
+                        label: format!("k={k} o={oversub:.0} {}K", clients / 1000),
+                        non_ioat: non.tps,
+                        ioat: ioat.tps,
+                        non_cpu: non.proxy_cpu,
+                        ioat_cpu: ioat.proxy_cpu,
+                    };
+                    let note = format!(
+                        "  k={k:<2} o={oversub:.0} {:>5} hosts {clients:>9} clients: \
+                         p50 {:>6} us  p99 {:>7} us  drops {:>7}  web-cpu {:>5.1}%",
+                        k * k * k / 4,
+                        ioat.latency_p50_us,
+                        ioat.latency_p99_us,
+                        non.tail_drops + ioat.tail_drops,
+                        ioat.web_cpu * 100.0
+                    );
+                    (row, note, non.sim_events + ioat.sim_events)
+                }
+            })
+            .collect::<Vec<_>>(),
+        jobs,
+    );
+    let mut fig = FigureResult::new(
+        "fig_fabric",
+        "Fabric: fat-tree datacenter TPS, hosts x oversubscription",
+        "TPS",
+        FigureRows::Compare(Vec::with_capacity(results.len())),
+    );
+    for (row, note, events) in results {
+        if let FigureRows::Compare(rows) = &mut fig.rows {
+            rows.push(row);
+        }
+        fig.notes.push(note);
+        fig.sim_events += events;
+    }
+    fig
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`), or
+/// `None` where `/proc/self/status` is unavailable. Monotone over the
+/// process lifetime — a per-figure reading is "the high-water mark so
+/// far", which is exactly the bound the `fig_fabric` acceptance
+/// criterion cares about.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: u64 = status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
 /// Builds one figure by target name, timing the build. Returns `None`
 /// for an unknown name — the `repro` CLI validates names first.
 pub fn run_figure(name: &str, window: ExperimentWindow, jobs: usize) -> Option<FigureResult> {
@@ -788,9 +901,11 @@ pub fn run_figure(name: &str, window: ExperimentWindow, jobs: usize) -> Option<F
         "abl-mq" => ablation_multiqueue(window, jobs),
         "abl-copy" => ablation_async_memcpy(jobs),
         "abl-faults" => ablation_faults(window, jobs),
+        "fig_fabric" => fig_fabric(window, jobs),
         _ => return None,
     };
     fig.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    fig.peak_rss_bytes = peak_rss_bytes();
     Some(fig)
 }
 
@@ -887,6 +1002,7 @@ pub fn run_figure_supervised(
             )
         });
         fig.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        fig.peak_rss_bytes = peak_rss_bytes();
         fig.error = Some(reason);
         return Some(fig);
     }

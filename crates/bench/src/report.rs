@@ -12,6 +12,13 @@
 //! `error` (the supervisor's classified failure reason, or null): a
 //! partial-failure run still produces a complete, parseable report with
 //! every surviving figure's rows intact.
+//!
+//! Schema `ioat-bench/3` adds per-figure simulator-scale metrics for the
+//! fabric family: `sim_events` (deterministic; 0 when a figure does not
+//! report them), `events_per_sec` (derived from `sim_events` and
+//! `wall_ms`, null when either is unavailable), and `peak_rss_bytes`
+//! (process `VmHWM`, null off-Linux). Like `*_wall_ms`, the last two
+//! vary between hosts and must be stripped before determinism diffs.
 
 use crate::{FigureResult, FigureRows};
 use std::fmt::Write as _;
@@ -61,7 +68,7 @@ pub struct RunMeta {
 pub fn render_json(meta: &RunMeta, figures: &[FigureResult]) -> String {
     let mut out = String::with_capacity(figures.len() * 2048 + 256);
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"ioat-bench/2\",");
+    let _ = writeln!(out, "  \"schema\": \"ioat-bench/3\",");
     let _ = writeln!(out, "  \"quick\": {},", meta.quick);
     let _ = writeln!(out, "  \"jobs\": {},", meta.jobs);
     let _ = writeln!(out, "  \"total_wall_ms\": {},", num(meta.total_wall_ms));
@@ -86,17 +93,31 @@ fn figure_json(fig: &FigureResult, indent: &str) -> String {
         Some(reason) => format!("\"{}\"", esc(reason)),
         None => "null".to_string(),
     };
+    // Schema 3: events/sec only when both inputs are meaningful — a
+    // figure that doesn't count events (sim_events 0) or a zeroed-out
+    // wall clock (determinism fixtures) yields null, not 0 or Infinity.
+    let events_per_sec = if fig.sim_events > 0 && fig.wall_ms.is_finite() && fig.wall_ms > 0.0 {
+        num(fig.sim_events as f64 / (fig.wall_ms / 1e3))
+    } else {
+        "null".to_string()
+    };
+    let peak_rss = match fig.peak_rss_bytes {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    };
     let mut out = String::new();
     let _ = write!(
         out,
         "{indent}{{\"name\": \"{}\", \"title\": \"{}\", \"unit\": \"{}\", \
          \"status\": \"{}\", \"error\": {error}, \
-         \"wall_ms\": {}, \"kind\": \"{}\",\n{indent} \"rows\": [",
+         \"wall_ms\": {}, \"sim_events\": {}, \"events_per_sec\": {events_per_sec}, \
+         \"peak_rss_bytes\": {peak_rss}, \"kind\": \"{}\",\n{indent} \"rows\": [",
         esc(&fig.name),
         esc(&fig.title),
         esc(&fig.unit),
         if fig.failed() { "failed" } else { "ok" },
         num(fig.wall_ms),
+        fig.sim_events,
         kind_name(&fig.rows),
     );
     let rows: Vec<String> = match &fig.rows {
@@ -241,6 +262,8 @@ mod tests {
                 }]),
                 notes: vec!["a \"note\"".into()],
                 wall_ms: 12.5,
+                sim_events: 25_000,
+                peak_rss_bytes: Some(64 << 20),
                 error: None,
             },
             FigureResult {
@@ -253,6 +276,8 @@ mod tests {
                 }]),
                 notes: Vec::new(),
                 wall_ms: 0.1,
+                sim_events: 0,
+                peak_rss_bytes: None,
                 error: None,
             },
         ]
@@ -267,11 +292,19 @@ mod tests {
         };
         let doc = render_json(&meta, &sample_figures());
         assert_well_formed(&doc);
-        assert!(doc.contains("\"schema\": \"ioat-bench/2\""));
+        assert!(doc.contains("\"schema\": \"ioat-bench/3\""));
         assert!(doc.contains("\"jobs\": 8"));
         assert!(doc.contains("\"name\": \"fig3a\""));
         assert!(doc.contains("\"kind\": \"compare\""));
         assert!(doc.contains("\"kind\": \"pinning\""));
+        // Schema 3: 25 000 events over 12.5 ms is exactly 2e6 events/sec;
+        // the pinning figure reports neither events nor RSS.
+        assert!(doc.contains("\"sim_events\": 25000"));
+        assert!(doc.contains("\"events_per_sec\": 2000000"));
+        assert!(doc.contains("\"peak_rss_bytes\": 67108864"));
+        assert!(doc.contains("\"sim_events\": 0"));
+        assert!(doc.contains("\"events_per_sec\": null"));
+        assert!(doc.contains("\"peak_rss_bytes\": null"));
         assert!(doc.contains("\"status\": \"ok\""));
         assert!(doc.contains("\"error\": null"));
         assert!(!doc.contains("\"status\": \"failed\""));
@@ -333,6 +366,8 @@ mod tests {
             }]),
             notes: vec![hostile.into()],
             wall_ms: 1.0,
+            sim_events: 0,
+            peak_rss_bytes: None,
             error: Some(format!("panicked: {hostile}")),
         };
         let meta = RunMeta {

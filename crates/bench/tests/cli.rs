@@ -100,7 +100,7 @@ fn quick_run_with_jobs_and_json_writes_report() {
         "table still renders alongside --json"
     );
     let doc = std::fs::read_to_string(&path).expect("report written");
-    assert!(doc.contains("\"schema\": \"ioat-bench/2\""));
+    assert!(doc.contains("\"schema\": \"ioat-bench/3\""));
     assert!(doc.contains("\"name\": \"fig6\""));
     assert!(doc.contains("\"status\": \"ok\""));
     assert!(doc.contains("\"error\": null"));

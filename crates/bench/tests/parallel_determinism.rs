@@ -72,6 +72,72 @@ fn abl_faults_rows_and_notes_identical_across_jobs() {
     assert_jobs_invariant("abl-faults");
 }
 
+/// The fabric-figure point set used by the determinism tests below: the
+/// real `fig_fabric` quick points sweep a 1024-host fat-tree, which a
+/// debug build cannot afford here, so these runs shrink the topology and
+/// client count while exercising the identical sweep closure (fat-tree
+/// build, ECMP hashing, shared-buffer switching, streaming stats).
+fn fabric_mini_points() -> Vec<(usize, f64, usize)> {
+    vec![(4, 1.0, 48), (4, 2.0, 96)]
+}
+
+#[test]
+fn fig_fabric_rows_identical_across_jobs() {
+    let w = ExperimentWindow::quick();
+    let seq = figs::fig_fabric_points(fabric_mini_points(), w, 1);
+    let par = figs::fig_fabric_points(fabric_mini_points(), w, 8);
+    assert_eq!(
+        seq.rows, par.rows,
+        "fig_fabric rows must be bit-identical at --jobs 1 and --jobs 8"
+    );
+    assert_eq!(seq.notes, par.notes, "per-point notes must match too");
+    assert_eq!(
+        seq.sim_events, par.sim_events,
+        "event counts are part of the determinism contract"
+    );
+    assert!(!seq.rows.is_empty());
+    assert!(seq.sim_events > 0, "the fabric figure reports event counts");
+}
+
+#[test]
+fn fig_fabric_same_seed_runs_are_identical() {
+    // Two whole-figure runs in the same process: every simulation is
+    // rebuilt from its seeds, so nothing may leak between runs.
+    let w = ExperimentWindow::quick();
+    let a = figs::fig_fabric_points(fabric_mini_points(), w, 4);
+    let b = figs::fig_fabric_points(fabric_mini_points(), w, 4);
+    assert_eq!(a.rows, b.rows, "same-seed re-run must reproduce the rows");
+    assert_eq!(a.notes, b.notes);
+    assert_eq!(a.sim_events, b.sim_events);
+}
+
+#[test]
+fn fig_fabric_json_identical_across_jobs_with_host_fields_pinned() {
+    // The committed BENCH_*.json contract for the fabric family:
+    // `wall_ms`, `events_per_sec`, and `peak_rss_bytes` measure the host
+    // and are pinned before diffing; everything else — rows, notes, and
+    // `sim_events` — must be worker-count independent.
+    use ioat_bench::report::{render_json, RunMeta};
+    let w = ExperimentWindow::quick();
+    let render = |jobs: usize| {
+        let mut fig = figs::fig_fabric_points(fabric_mini_points(), w, jobs);
+        fig.wall_ms = 0.0;
+        fig.peak_rss_bytes = None;
+        render_json(
+            &RunMeta {
+                quick: true,
+                jobs: 0,
+                total_wall_ms: 0.0,
+            },
+            &[fig],
+        )
+    };
+    let doc = render(1);
+    assert_eq!(doc, render(8));
+    assert!(doc.contains("\"sim_events\": "));
+    assert!(!doc.contains("\"sim_events\": 0,"), "events were counted");
+}
+
 #[test]
 fn json_report_identical_across_jobs_modulo_wall_clock() {
     // The committed BENCH_*.json must be diffable across PRs: with the
@@ -82,6 +148,7 @@ fn json_report_identical_across_jobs_modulo_wall_clock() {
     let render = |jobs: usize| {
         let mut fig = figs::run_figure("fig3b", w, jobs).expect("known figure");
         fig.wall_ms = 0.0;
+        fig.peak_rss_bytes = None;
         render_json(
             &RunMeta {
                 quick: true,

@@ -5,6 +5,7 @@
 //! the hood — this module only adds the testbed-shaped conveniences.
 
 use crate::calibration;
+use ioat_fabric::{Fabric, FabricParams, FabricRef, TopologySpec};
 use ioat_faults::{FaultInjector, FaultPlan};
 use ioat_netsim::stack::{self, HostStack, StackRef};
 use ioat_netsim::{ConnId, IoatConfig, Socket, SocketOpts, StackParams};
@@ -71,6 +72,7 @@ pub struct Cluster {
     latency: SimDuration,
     tracer: Tracer,
     faults: FaultPlan,
+    fabric: Option<FabricRef>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -106,7 +108,62 @@ impl Cluster {
             latency: calibration::switch_latency(),
             tracer: Tracer::disabled(),
             faults: FaultPlan::none(),
+            fabric: None,
         }
+    }
+
+    /// Compiles and installs a switch fabric: nodes can then attach to
+    /// leaf ports with [`Cluster::attach_fabric_host`] and connect through
+    /// it with [`Cluster::open_on_fabric`], as an alternative to the
+    /// point-to-point [`Cluster::connect_ports`]. Fabric tail-drops are
+    /// folded into [`Cluster::run_audits`]' conservation identity and
+    /// [`Cluster::metrics`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fabric is already installed.
+    pub fn install_fabric(&mut self, spec: TopologySpec, params: FabricParams) -> FabricRef {
+        assert!(self.fabric.is_none(), "fabric already installed");
+        let fabric = Fabric::new(spec, params);
+        self.fabric = Some(Rc::clone(&fabric));
+        fabric
+    }
+
+    /// The installed fabric, if any.
+    pub fn fabric(&self) -> Option<&FabricRef> {
+        self.fabric.as_ref()
+    }
+
+    /// Attaches `node` to the installed fabric at topology host index
+    /// `host`; returns the node's new NIC port index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fabric is installed, or the attachment point is taken.
+    pub fn attach_fabric_host(&mut self, node: NodeHandle, host: usize) -> usize {
+        let fabric = self.fabric.as_ref().expect("no fabric installed");
+        fabric.attach(&self.nodes[node.0], host)
+    }
+
+    /// Opens a connection routed through the fabric between the nodes
+    /// attached at `att_a` and `att_b`; returns the two socket endpoints
+    /// `(on_a, on_b)`.
+    pub fn open_on_fabric(
+        &mut self,
+        a: NodeHandle,
+        att_a: usize,
+        b: NodeHandle,
+        att_b: usize,
+        opts: SocketOpts,
+    ) -> (Socket, Socket) {
+        let fabric = self.fabric.as_ref().expect("no fabric installed");
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        fabric.open(att_a, att_b, opts, id);
+        (
+            Socket::new(Rc::clone(&self.nodes[a.0]), id),
+            Socket::new(Rc::clone(&self.nodes[b.0]), id),
+        )
     }
 
     /// Installs a fault plan: every node already added (and every node
@@ -182,6 +239,11 @@ impl Cluster {
                 reg.add(&format!("{name}.dma.pages_pinned"), d.pages_pinned);
                 reg.add(&format!("{name}.dma.cpu_fallbacks"), d.cpu_fallbacks);
             }
+        }
+        if let Some(fabric) = &self.fabric {
+            reg.add("fabric.forwarded", fabric.forwarded());
+            reg.add("fabric.tail_drops", fabric.tail_drops());
+            reg.set_gauge("fabric.peak_buffer_bytes", fabric.peak_occupancy() as f64);
         }
         reg
     }
@@ -319,7 +381,14 @@ impl Cluster {
         for node in &self.nodes {
             node.borrow().audit(now);
         }
-        stack::audit_cluster_conservation(&self.nodes, now, self.sim.events_pending() == 0);
+        let quiescent = self.sim.events_pending() == 0;
+        let switch_dropped = if let Some(fabric) = &self.fabric {
+            fabric.audit(now, quiescent);
+            fabric.tail_drops()
+        } else {
+            0
+        };
+        stack::audit_cluster_conservation_ext(&self.nodes, switch_dropped, now, quiescent);
         if self.tracer.records(Category::Audit) {
             for v in ioat_guard::violations_since(before) {
                 // Event names must be `'static`; the invariant name is,
@@ -401,6 +470,35 @@ mod tests {
         let mut cluster = Cluster::new(1);
         cluster.add_node(NodeConfig::testbed("x", IoatConfig::disabled()));
         cluster.add_node(NodeConfig::testbed("x", IoatConfig::disabled()));
+    }
+
+    #[test]
+    fn fabric_backed_cluster_transfers_and_audits() {
+        let mut cluster = Cluster::new(1);
+        let fabric = cluster.install_fabric(
+            ioat_fabric::TopologySpec::FatTree { k: 4 },
+            ioat_fabric::FabricParams::gige(),
+        );
+        let a = cluster.add_node(NodeConfig::testbed("a", IoatConfig::disabled()));
+        let b = cluster.add_node(NodeConfig::testbed("b", IoatConfig::full()));
+        cluster.attach_fabric_host(a, 0);
+        cluster.attach_fabric_host(b, 15);
+        let (sa, sb) = cluster.open_on_fabric(a, 0, b, 15, SocketOpts::tuned());
+        let got = Rc::new(RefCell::new(0u64));
+        let g = Rc::clone(&got);
+        sb.set_handler(move |_s, ev| {
+            if let SocketEvent::Delivered(n) = ev {
+                *g.borrow_mut() += n;
+            }
+        });
+        sa.send(cluster.sim_mut(), 300_000);
+        cluster.run();
+        assert_eq!(*got.borrow(), 300_000);
+        assert!(fabric.forwarded() > 0);
+        cluster.run_audits();
+        let reg = cluster.metrics();
+        assert!(reg.counter("fabric.forwarded") > 0);
+        assert_eq!(reg.counter("fabric.tail_drops"), 0);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`costs`] — Apache-era per-request CPU cost model.
 //! * [`tiers`] — the two-tier testbed assembly and closed-loop drivers.
 //! * [`emulated`] — the Fig. 9 scenario.
+//! * [`scale`] — the same tiers behind a Clos fabric at datacenter
+//!   scale: thousands of servers, up to ~10⁶ emulated Zipf clients,
+//!   streaming statistics.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,11 +29,13 @@ pub mod cache;
 pub mod costs;
 pub mod emulated;
 pub mod msg;
+pub mod scale;
 pub mod tiers;
 pub mod workload;
 
 pub use cache::LruCache;
 pub use costs::DataCenterCosts;
+pub use scale::{ScaleConfig, ScaleResult};
 pub use tiers::{DataCenterConfig, DataCenterResult};
 pub use workload::{FileCatalog, Request, SingleFileTrace, ZipfTrace};
 
@@ -50,5 +55,7 @@ mod send_contract {
         assert_send::<DataCenterCosts>();
         assert_send::<Request>();
         assert_send::<DataCenterResult>();
+        assert_send::<ScaleConfig>();
+        assert_send::<ScaleResult>();
     }
 }

@@ -1,0 +1,370 @@
+//! Datacenter at fabric scale: thousands of proxy/web servers behind a
+//! Clos fabric, fronting up to ~10⁶ emulated Zipf clients.
+//!
+//! The paper's two-tier testbed (§5) stops at 2 nodes and 44 emulated
+//! clients; this module re-asks the I/OAT question at datacenter scale.
+//! The first half of the topology's hosts run the proxy tier, the second
+//! half the web tier; every proxy holds persistent connections to a small
+//! deterministic subset of web servers (`webs_per_proxy`, a documented
+//! simplification of consistent hashing) and documents map onto that
+//! subset by id. Clients are *emulated* exactly like the paper's: they
+//! are not simulated hosts but closed loops — draw a Zipf document, wait
+//! the client-side latency, drive the proxy's request path
+//! (parse + forward → web serve → relay), then think and repeat.
+//!
+//! Every per-client and per-request structure is fixed-size so memory
+//! stays bounded at a million clients:
+//!
+//! * per-client state is one slab slot (the request start instant — the
+//!   document travels in the message metadata);
+//! * latencies stream into a fixed-bucket log-scale [`Histogram`] and a
+//!   Welford [`Summary`] (online mean/max), never a per-request `Vec`;
+//! * throughput is a windowed [`Counter`].
+
+use crate::costs::{DataCenterCosts, REQUEST_WIRE_BYTES};
+use crate::msg::{self, MsgSender};
+use crate::workload::{FileCatalog, Trace, ZipfTrace};
+use ioat_core::cluster::{Cluster, NodeConfig, NodeHandle};
+use ioat_core::metrics::ExperimentWindow;
+use ioat_core::{IoatConfig, SocketOpts};
+use ioat_fabric::{FabricParams, Topology, TopologySpec};
+use ioat_simcore::{Counter, Histogram, SimDuration, SimRng, SimTime, Summary};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Configuration of a fabric-scale datacenter run.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    /// Fabric topology; its host count fixes the server count (half
+    /// proxies, half web servers).
+    pub spec: TopologySpec,
+    /// Fabric physical parameters (bandwidths, oversubscription, buffers,
+    /// ECMP seed).
+    pub fabric: FabricParams,
+    /// Emulated closed-loop clients.
+    pub clients: usize,
+    /// I/OAT features on every server node.
+    pub ioat: IoatConfig,
+    /// Application cost model.
+    pub costs: DataCenterCosts,
+    /// Measurement window. Client starts are staggered across the warmup.
+    pub window: ExperimentWindow,
+    /// Zipf exponent of the document popularity distribution.
+    pub alpha: f64,
+    /// Documents in the catalog.
+    pub catalog_files: usize,
+    /// Web servers each proxy holds persistent connections to.
+    pub webs_per_proxy: usize,
+    /// Client think time between a completed response and the next
+    /// request.
+    pub think: SimDuration,
+    /// One-way client ↔ proxy latency (clients are emulated, not
+    /// simulated hosts, so their access network is a fixed delay).
+    pub client_latency: SimDuration,
+    /// Workload seed (catalog sizes + Zipf draws).
+    pub seed: u64,
+}
+
+impl ScaleConfig {
+    /// A fat-tree(k) datacenter at oversubscription `oversub` with
+    /// `clients` emulated clients. Defaults: Zipf(0.9) over 10 K
+    /// documents of 8 K median, 4 webs per proxy, 20 ms think, 200 µs
+    /// client latency, quick window.
+    pub fn fat_tree(k: usize, oversub: f64, clients: usize, ioat: IoatConfig) -> Self {
+        ScaleConfig {
+            spec: TopologySpec::FatTree { k },
+            fabric: FabricParams {
+                oversubscription: oversub,
+                seed: 0xFA8,
+                ..FabricParams::gige()
+            },
+            clients,
+            ioat,
+            costs: DataCenterCosts::default(),
+            window: ExperimentWindow::quick(),
+            alpha: 0.9,
+            catalog_files: 10_000,
+            webs_per_proxy: 4,
+            think: SimDuration::from_millis(20),
+            client_latency: SimDuration::from_micros(200),
+            seed: 0xD1CE,
+        }
+    }
+
+    /// A tiny configuration for unit tests: fat-tree(4), 48 clients,
+    /// short think so several requests complete per client.
+    pub fn quick_test(ioat: IoatConfig) -> Self {
+        ScaleConfig {
+            clients: 48,
+            think: SimDuration::from_millis(2),
+            catalog_files: 500,
+            ..Self::fat_tree(4, 1.0, 48, ioat)
+        }
+    }
+
+    /// Socket options used on the server tier: all offloads on, but
+    /// moderate 64 K buffers so a million multiplexed clients cannot pile
+    /// unbounded bytes into any single connection window.
+    fn opts() -> SocketOpts {
+        SocketOpts {
+            sndbuf: 64 * 1024,
+            rcvbuf: 64 * 1024,
+            read_size: 16 * 1024,
+            ..SocketOpts::tuned()
+        }
+    }
+}
+
+/// Outcome of a fabric-scale run. All statistics are streaming — their
+/// memory footprint is independent of `clients` and of the request count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScaleResult {
+    /// Transactions per second over the measurement window.
+    pub tps: f64,
+    /// Transactions completed inside the window.
+    pub completed: u64,
+    /// Mean end-to-end client latency, µs.
+    pub latency_mean_us: f64,
+    /// Median latency, µs (log-scale histogram bucket upper bound).
+    pub latency_p50_us: u64,
+    /// 99th-percentile latency, µs.
+    pub latency_p99_us: u64,
+    /// Worst observed latency, µs.
+    pub latency_max_us: f64,
+    /// Mean CPU utilization across the proxy tier in the window.
+    pub proxy_cpu: f64,
+    /// Mean CPU utilization across the web tier in the window.
+    pub web_cpu: f64,
+    /// Frames tail-dropped by switch buffers over the whole run.
+    pub tail_drops: u64,
+    /// Simulator events executed by the end of the window.
+    pub sim_events: u64,
+}
+
+/// Per (proxy, subset-slot) request-path endpoints: the proxy-side
+/// socket (for compute charging) and the request sender toward the
+/// chosen web server.
+type ReqSlot = Option<(ioat_netsim::Socket, MsgSender<(u32, u64)>)>;
+
+/// Shared run state: the client slab plus streaming statistics. One
+/// allocation each, fixed size for the whole run.
+struct Shared {
+    n_proxies: usize,
+    webs_per_proxy: usize,
+    costs: DataCenterCosts,
+    think: SimDuration,
+    client_latency: SimDuration,
+    trace: RefCell<ZipfTrace>,
+    /// Slab of per-client request start instants, indexed by client slot.
+    started: RefCell<Vec<SimTime>>,
+    req: RefCell<Vec<ReqSlot>>,
+    completed: RefCell<Counter>,
+    latency_hist: RefCell<Histogram>,
+    latency_sum: RefCell<Summary>,
+}
+
+/// One closed-loop client iteration: draw a document, cross the client
+/// access delay, run the proxy request path.
+fn fire(shared: &Rc<Shared>, sim: &mut ioat_simcore::Sim, slot: u32) {
+    let req = shared.trace.borrow_mut().next_request();
+    shared.started.borrow_mut()[slot as usize] = sim.now();
+    let p = slot as usize % shared.n_proxies;
+    let idx = p * shared.webs_per_proxy + req.file_id as usize % shared.webs_per_proxy;
+    let sh = Rc::clone(shared);
+    sim.schedule(shared.client_latency, move |sim| {
+        let sock = {
+            let senders = sh.req.borrow();
+            senders[idx].as_ref().expect("sender installed").0.clone()
+        };
+        let cost = sh.costs.proxy_parse + sh.costs.proxy_forward;
+        let sh2 = Rc::clone(&sh);
+        sock.compute(sim, cost, move |sim| {
+            let senders = sh2.req.borrow();
+            let (_, sender) = senders[idx].as_ref().expect("sender installed");
+            sender.send(sim, REQUEST_WIRE_BYTES, (slot, req.size));
+        });
+    });
+}
+
+/// Runs the fabric-scale scenario.
+pub fn run(cfg: &ScaleConfig) -> ScaleResult {
+    let topo = Topology::new(cfg.spec);
+    let hosts = topo.hosts();
+    assert!(hosts >= 2, "need at least one proxy and one web host");
+    assert!(cfg.clients > 0, "need at least one client");
+    assert!(cfg.webs_per_proxy > 0, "need at least one web per proxy");
+    let n_proxies = hosts / 2;
+    let n_webs = hosts - n_proxies;
+    let f = cfg.webs_per_proxy.min(n_webs);
+
+    let mut cluster = Cluster::new(cfg.seed);
+    let fabric = cluster.install_fabric(cfg.spec, cfg.fabric);
+
+    let mut nodes: Vec<NodeHandle> = Vec::with_capacity(hosts);
+    let proxies: Vec<NodeHandle> = (0..n_proxies)
+        .map(|p| {
+            let h = cluster.add_node(NodeConfig::testbed(&format!("p{p}"), cfg.ioat));
+            cluster.attach_fabric_host(h, p);
+            nodes.push(h);
+            h
+        })
+        .collect();
+    let webs: Vec<NodeHandle> = (0..n_webs)
+        .map(|w| {
+            let h = cluster.add_node(NodeConfig::testbed(&format!("w{w}"), cfg.ioat));
+            cluster.attach_fabric_host(h, n_proxies + w);
+            nodes.push(h);
+            h
+        })
+        .collect();
+
+    let mut rng = SimRng::seed_from(cfg.seed);
+    let catalog = FileCatalog::web_content(cfg.catalog_files, 8 * 1024, &mut rng);
+    let trace = ZipfTrace::new(catalog, cfg.alpha, rng.fork());
+
+    let mut completed = Counter::new();
+    completed.begin_window(cfg.window.from());
+    let shared = Rc::new(Shared {
+        n_proxies,
+        webs_per_proxy: f,
+        costs: cfg.costs,
+        think: cfg.think,
+        client_latency: cfg.client_latency,
+        trace: RefCell::new(trace),
+        started: RefCell::new(vec![SimTime::ZERO; cfg.clients]),
+        req: RefCell::new((0..n_proxies * f).map(|_| None).collect()),
+        completed: RefCell::new(completed),
+        latency_hist: RefCell::new(Histogram::new()),
+        latency_sum: RefCell::new(Summary::new()),
+    });
+
+    let opts = ScaleConfig::opts();
+    for (p, &proxy) in proxies.iter().enumerate() {
+        for j in 0..f {
+            let w = (p * f + j) % n_webs;
+            let (p_sock, w_sock) = cluster.open_on_fabric(proxy, p, webs[w], n_proxies + w, opts);
+
+            // Responses web → proxy → (after the access delay) client:
+            // relay on the proxy, complete the transaction, think, fire
+            // the client's next request.
+            let sh = Rc::clone(&shared);
+            let p_sock2 = p_sock.clone();
+            let respond = msg::channel(w_sock.clone(), p_sock.clone(), move |sim, slot: u32| {
+                let sh2 = Rc::clone(&sh);
+                p_sock2.compute(sim, sh.costs.proxy_relay, move |sim| {
+                    let sh3 = Rc::clone(&sh2);
+                    sim.schedule(sh2.client_latency, move |sim| {
+                        let now = sim.now();
+                        let lat = now - sh3.started.borrow()[slot as usize];
+                        let us = lat.as_nanos() / 1_000;
+                        sh3.completed.borrow_mut().add_at(now, 1);
+                        sh3.latency_hist.borrow_mut().record(us.max(1));
+                        sh3.latency_sum.borrow_mut().add(us as f64);
+                        let sh4 = Rc::clone(&sh3);
+                        sim.schedule(sh3.think, move |sim| fire(&sh4, sim, slot));
+                    });
+                });
+            });
+            let respond = Rc::new(respond);
+
+            // Requests proxy → web: serve the document, send it back.
+            let costs = cfg.costs;
+            let w_sock2 = w_sock.clone();
+            let request = msg::channel(
+                p_sock.clone(),
+                w_sock,
+                move |sim, (slot, size): (u32, u64)| {
+                    let rsp = Rc::clone(&respond);
+                    w_sock2.compute(sim, costs.web_serve(size), move |sim| {
+                        rsp.send(sim, size, slot);
+                    });
+                },
+            );
+            shared.req.borrow_mut()[p * f + j] = Some((p_sock, request));
+        }
+    }
+
+    // Stagger client starts across the warmup so the window opens at
+    // steady state instead of on a synchronized thundering herd.
+    let warmup_ns = cfg.window.warmup.as_nanos().max(1);
+    for slot in 0..cfg.clients as u32 {
+        let at = SimDuration::from_nanos(warmup_ns * u64::from(slot) / cfg.clients as u64);
+        let sh = Rc::clone(&shared);
+        cluster
+            .sim_mut()
+            .schedule(at, move |sim| fire(&sh, sim, slot));
+    }
+
+    let (from, to) = cfg.window.execute(&mut cluster, &nodes);
+    let elapsed = (to - from).as_secs_f64();
+    let tier_cpu = |handles: &[NodeHandle]| {
+        handles
+            .iter()
+            .map(|&h| cluster.stack(h).borrow().cpu_utilization(from, to))
+            .sum::<f64>()
+            / handles.len() as f64
+    };
+    let hist = shared.latency_hist.borrow();
+    let sum = shared.latency_sum.borrow();
+    let completed = shared.completed.borrow().window_total();
+    ScaleResult {
+        tps: completed as f64 / elapsed,
+        completed,
+        latency_mean_us: sum.mean(),
+        latency_p50_us: hist.quantile(0.50),
+        latency_p99_us: hist.quantile(0.99),
+        latency_max_us: sum.max().unwrap_or(0.0),
+        proxy_cpu: tier_cpu(&proxies),
+        web_cpu: tier_cpu(&webs),
+        tail_drops: fabric.tail_drops(),
+        sim_events: cluster.sim().events_executed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_run_completes_with_clean_audits() {
+        let (result, violations) =
+            ioat_guard::with_audit(|| run(&ScaleConfig::quick_test(IoatConfig::disabled())));
+        let r = result.expect("run completes");
+        assert!(
+            violations.is_empty(),
+            "audits must be clean: {violations:?}"
+        );
+        assert!(r.completed > 0, "clients must complete transactions");
+        assert!(r.tps > 0.0);
+        assert!(r.latency_p50_us > 0);
+        assert!(r.latency_p99_us >= r.latency_p50_us);
+        assert!(r.latency_max_us >= r.latency_p99_us as f64 / 2.0);
+        assert!(r.proxy_cpu > 0.0 && r.proxy_cpu <= 1.0);
+        assert!(r.web_cpu > 0.0 && r.web_cpu <= 1.0);
+        assert!(r.sim_events > 0);
+    }
+
+    #[test]
+    fn scale_runs_are_deterministic() {
+        let cfg = ScaleConfig::quick_test(IoatConfig::full());
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a, b, "same seed must reproduce bit-identical results");
+    }
+
+    #[test]
+    fn ioat_reduces_server_cpu_per_transaction() {
+        let mut cfg = ScaleConfig::quick_test(IoatConfig::disabled());
+        cfg.clients = 96;
+        let non = run(&cfg);
+        cfg.ioat = IoatConfig::full();
+        let ioat = run(&cfg);
+        let non_per = (non.proxy_cpu + non.web_cpu) / non.tps;
+        let ioat_per = (ioat.proxy_cpu + ioat.web_cpu) / ioat.tps;
+        assert!(
+            ioat_per < non_per,
+            "I/OAT {ioat_per:.3e} vs non {non_per:.3e} CPU/txn"
+        );
+    }
+}

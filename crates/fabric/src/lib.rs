@@ -1,0 +1,46 @@
+//! Clos/fat-tree switch fabric for `ioat-sim`.
+//!
+//! The paper's testbed pairs six GigE ports through per-VLAN switch paths,
+//! which `netsim` models as dedicated point-to-point links — fine for two
+//! nodes, useless for a datacenter. This crate adds the missing switching
+//! layer so the I/OAT CPU-utilization question can be re-asked at
+//! thousands of hosts:
+//!
+//! * [`topology`] — declarative fat-tree / leaf-spine specs compiled to
+//!   host/switch/port numbering with allocation-free structural routing
+//!   and closed-form count/path formulas.
+//! * [`fabric`] — the runtime: per-port serializing links, shared
+//!   output-buffered switches with tail-drop, deterministic seed-stable
+//!   ECMP, and hop-by-hop forwarding behind netsim's
+//!   [`FrameRouter`](ioat_netsim::FrameRouter) hook. Tail-drops feed the
+//!   cluster-wide frame-conservation audit as a distinct counter.
+//!
+//! # Example
+//!
+//! ```rust
+//! use ioat_fabric::{Fabric, FabricParams, TopologySpec};
+//! use ioat_netsim::config::{IoatConfig, StackParams};
+//! use ioat_netsim::stack::{self};
+//! use ioat_netsim::{HostStack, ConnId, SocketOpts};
+//! use ioat_simcore::Sim;
+//!
+//! let mut sim = Sim::new();
+//! let fabric = Fabric::new(TopologySpec::FatTree { k: 4 }, FabricParams::gige());
+//! let a = HostStack::new("a", 2, StackParams::default(), IoatConfig::disabled());
+//! let b = HostStack::new("b", 2, StackParams::default(), IoatConfig::disabled());
+//! fabric.attach(&a, 0);
+//! fabric.attach(&b, 15);
+//! fabric.open(0, 15, SocketOpts::tuned(), ConnId(1));
+//! stack::app_send(&a, &mut sim, ConnId(1), 100_000);
+//! sim.run();
+//! assert_eq!(b.borrow().rx_meter().total_bytes(), 100_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fabric;
+pub mod topology;
+
+pub use fabric::{Fabric, FabricParams, FabricRef, SwitchStats};
+pub use topology::{Hop, Topology, TopologySpec};

@@ -54,12 +54,49 @@ use std::rc::Rc;
 /// Shared handle to a [`HostStack`].
 pub type StackRef = Rc<RefCell<HostStack>>;
 
+/// A routed alternative to direct port-to-port wiring: a switch fabric (or
+/// any other forwarding element) that accepts frames and ACKs at an
+/// attachment point and delivers them to their destination itself.
+///
+/// A port attached to a router (see [`attach_router`]) serializes each
+/// departing frame on its access link exactly like a wired port, but the
+/// delivery callback hands the frame to [`FrameRouter::frame_ingress`]
+/// instead of the peer's `frame_arrived` — the router then owns hop-by-hop
+/// forwarding, buffering and drops. ACKs keep netsim's latency-only
+/// simplification: they bypass serialization and buffers and go straight to
+/// [`FrameRouter::ack_ingress`], which must deliver them after the
+/// topology's reverse-path latency (ACK loss stays unmodeled, so windows
+/// cannot deadlock).
+///
+/// Methods take `self: Rc<Self>` so implementations can re-capture
+/// themselves in scheduled continuations without a `&self` lifetime.
+pub trait FrameRouter {
+    /// A data frame from attachment point `src` has finished serializing on
+    /// its access link and enters the fabric.
+    fn frame_ingress(self: Rc<Self>, sim: &mut Sim, src: usize, frame: Frame);
+    /// An ACK (cumulative `seq`, advertised `window`, `dup` duplicate-ACK
+    /// signals) leaves attachment point `src` toward the connection's other
+    /// endpoint.
+    fn ack_ingress(
+        self: Rc<Self>,
+        sim: &mut Sim,
+        src: usize,
+        conn: ConnId,
+        seq: u64,
+        window: u64,
+        dup: u32,
+    );
+}
+
 type Handler = Rc<RefCell<dyn FnMut(&mut Sim, SocketEvent)>>;
 
 struct Port {
     tx: Link,
     peer: Option<StackRef>,
     peer_port: usize,
+    /// Routed alternative to `peer`: the fabric this port attaches to and
+    /// the attachment index the fabric knows this port by.
+    router: Option<(Rc<dyn FrameRouter>, usize)>,
     coalescer: RxCoalescer,
     pending_frames: Vec<Frame>,
 }
@@ -428,6 +465,7 @@ impl HostStack {
             tx,
             peer: None,
             peer_port: 0,
+            router: None,
             coalescer: RxCoalescer::new(coalescing, p.coalesce_max_frames, p.coalesce_delay),
             pending_frames: Vec::new(),
         });
@@ -554,13 +592,33 @@ pub fn wire(
     (ai, bi)
 }
 
-/// Opens a full-duplex connection between wired ports `port_a` on `a` and
-/// `port_b` on `b`, with the same socket options at both ends.
+/// Adds a port on `s` attached to a [`FrameRouter`] instead of a direct
+/// peer. `tx` is the host's access link into the fabric (frames serialize
+/// on it before `frame_ingress`); `attachment` is the index the router
+/// knows this port by. Returns the port index.
+pub fn attach_router(
+    s: &StackRef,
+    tx: Link,
+    coalescing: bool,
+    router: Rc<dyn FrameRouter>,
+    attachment: usize,
+) -> usize {
+    let mut st = s.borrow_mut();
+    let idx = st.add_port(tx, coalescing);
+    st.ports[idx].router = Some((router, attachment));
+    idx
+}
+
+/// Opens a full-duplex connection between ports `port_a` on `a` and
+/// `port_b` on `b`, with the same socket options at both ends. The ports
+/// must either be wired directly to each other or both be attached to a
+/// router (the router is responsible for delivering between them).
 ///
 /// # Panics
 ///
-/// Panics if the ports are not wired to each other, or if the options are
-/// inconsistent (e.g. `read_size` larger than `rcvbuf`).
+/// Panics if the ports are neither wired to each other nor both
+/// router-attached, or if the options are inconsistent (e.g. `read_size`
+/// larger than `rcvbuf`).
 pub fn open_connection(
     a: &StackRef,
     b: &StackRef,
@@ -580,9 +638,12 @@ pub fn open_connection(
     {
         let sa = a.borrow();
         let port = &sa.ports[port_a];
+        let wired =
+            port.peer.as_ref().is_some_and(|p| Rc::ptr_eq(p, b)) && port.peer_port == port_b;
+        let routed = port.router.is_some() && b.borrow().ports[port_b].router.is_some();
         assert!(
-            port.peer.as_ref().is_some_and(|p| Rc::ptr_eq(p, b)) && port.peer_port == port_b,
-            "ports are not wired to each other"
+            wired || routed,
+            "ports are neither wired to each other nor both router-attached"
         );
     }
     install_endpoint(a, port_a, opts, id);
@@ -814,7 +875,11 @@ fn pump(s: &StackRef, sim: &mut Sim, conn: ConnId) {
 /// sender's NIC transmitted it) but never reaches the peer's
 /// `frame_arrived` — and schedules no event at all.
 fn pump_frames(s: &StackRef, sim: &mut Sim, conn: ConnId) {
-    let (train, link, peer, peer_port) = {
+    enum Egress {
+        Peer(StackRef, usize),
+        Routed(Rc<dyn FrameRouter>, usize),
+    }
+    let (train, link, egress) = {
         let mut st = s.borrow_mut();
         let now = sim.now();
         let Some(c) = st.conns.get_mut(&conn) else {
@@ -855,32 +920,56 @@ fn pump_frames(s: &StackRef, sim: &mut Sim, conn: ConnId) {
             }
         }
         let port = &st.ports[port_idx];
-        (
-            train,
-            port.tx.clone(),
-            Rc::clone(port.peer.as_ref().expect("port not wired")),
-            port.peer_port,
-        )
+        let egress = if let Some((router, attachment)) = &port.router {
+            Egress::Routed(Rc::clone(router), *attachment)
+        } else {
+            Egress::Peer(
+                Rc::clone(port.peer.as_ref().expect("port not wired")),
+                port.peer_port,
+            )
+        };
+        (train, port.tx.clone(), egress)
     };
     for (frame, lost) in train {
         if lost {
             link.transmit_dropped(sim, frame.wire_bytes());
-        } else {
-            let peer2 = Rc::clone(&peer);
-            link.transmit(sim, frame.wire_bytes(), move |sim| {
-                frame_arrived(&peer2, sim, peer_port, frame);
-            });
+            continue;
+        }
+        match &egress {
+            Egress::Peer(peer, peer_port) => {
+                let peer2 = Rc::clone(peer);
+                let peer_port = *peer_port;
+                link.transmit(sim, frame.wire_bytes(), move |sim| {
+                    frame_arrived(&peer2, sim, peer_port, frame);
+                });
+            }
+            Egress::Routed(router, attachment) => {
+                let r2 = Rc::clone(router);
+                let att = *attachment;
+                link.transmit(sim, frame.wire_bytes(), move |sim| {
+                    r2.frame_ingress(sim, att, frame);
+                });
+            }
         }
     }
 }
 
 /// Arms the retransmission timer for `conn` when loss is possible and
-/// unacknowledged bytes exist. Strictly a no-op with the inert injector,
-/// so fault-free runs schedule zero extra events.
+/// unacknowledged bytes exist. Loss is possible when a fault injector is
+/// active *or* the connection's port is router-attached — a switch fabric
+/// can tail-drop on buffer exhaustion without any injector, and a dropped
+/// final frame of a train produces no duplicate ACKs, so only the RTO can
+/// recover it. Strictly a no-op on fault-free wired ports, so classic runs
+/// schedule zero extra events.
 fn arm_rto(s: &StackRef, sim: &mut Sim, conn: ConnId) {
     let armed = {
         let mut st = s.borrow_mut();
-        if !st.faults.is_active() {
+        let lossy_port = |st: &HostStack, conn: ConnId| {
+            st.conns
+                .get(&conn)
+                .is_some_and(|c| st.ports[c.send.port].router.is_some())
+        };
+        if !st.faults.is_active() && !lossy_port(&st, conn) {
             return;
         }
         let Some(c) = st.conns.get_mut(&conn) else {
@@ -1109,19 +1198,33 @@ fn raise_interrupt(s: &StackRef, sim: &mut Sim, port: usize) {
 /// this batch (discarded out-of-order frames); it is 0 on every fault-free
 /// path.
 fn send_ack(s: &StackRef, sim: &mut Sim, conn: ConnId, seq: u64, window: u64, dup: u32) {
-    let (peer, latency) = {
+    enum AckPath {
+        Peer(StackRef, SimDuration),
+        Routed(Rc<dyn FrameRouter>, usize),
+    }
+    let path = {
         let st = s.borrow();
         let Some(c) = st.conns.get(&conn) else { return };
         let port = &st.ports[c.send.port];
-        (
-            Rc::clone(port.peer.as_ref().expect("port not wired")),
-            port.tx.latency(),
-        )
+        if let Some((router, attachment)) = &port.router {
+            AckPath::Routed(Rc::clone(router), *attachment)
+        } else {
+            AckPath::Peer(
+                Rc::clone(port.peer.as_ref().expect("port not wired")),
+                port.tx.latency(),
+            )
+        }
     };
-    let peer2 = Rc::clone(&peer);
-    sim.schedule(latency, move |sim| {
-        ack_received(&peer2, sim, conn, seq, window, dup);
-    });
+    match path {
+        AckPath::Peer(peer, latency) => {
+            sim.schedule(latency, move |sim| {
+                ack_received(&peer, sim, conn, seq, window, dup);
+            });
+        }
+        AckPath::Routed(router, attachment) => {
+            router.ack_ingress(sim, attachment, conn, seq, window, dup);
+        }
+    }
 }
 
 /// Sender-side ACK processing: charged to the interrupt core, then the
@@ -1395,6 +1498,20 @@ fn finish_delivery(s: &StackRef, sim: &mut Sim, conn: ConnId, bytes: u64) {
 /// `quiescent` (event queue drained — nothing can be on the wire) the frame
 /// identity tightens to exact equality.
 pub fn audit_cluster_conservation(stacks: &[StackRef], now: SimTime, quiescent: bool) {
+    audit_cluster_conservation_ext(stacks, 0, now, quiescent);
+}
+
+/// [`audit_cluster_conservation`] extended with a fabric term:
+/// `switch_dropped` counts frames a [`FrameRouter`] tail-dropped at a full
+/// switch buffer after the sender's NIC put them on the wire. The identity
+/// becomes Σsent = Σarrived + Σlost + Σring-dropped + switch-dropped
+/// (+ in-flight when not quiescent).
+pub fn audit_cluster_conservation_ext(
+    stacks: &[StackRef],
+    switch_dropped: u64,
+    now: SimTime,
+    quiescent: bool,
+) {
     let mut sent = 0u64;
     let mut arrived = 0u64;
     let mut lost = 0u64;
@@ -1411,7 +1528,7 @@ pub fn audit_cluster_conservation(stacks: &[StackRef], now: SimTime, quiescent: 
         tx_bytes += st.tx_meter().total_bytes();
         rx_bytes += st.rx_meter().total_bytes();
     }
-    let accounted = arrived + lost + ring_dropped;
+    let accounted = arrived + lost + ring_dropped + switch_dropped;
     let ok = if quiescent {
         sent == accounted
     } else {
@@ -1419,13 +1536,14 @@ pub fn audit_cluster_conservation(stacks: &[StackRef], now: SimTime, quiescent: 
     };
     ioat_guard::check(
         "netsim/cluster",
-        "frame conservation: sent = arrived + lost + ring-dropped + in-flight",
+        "frame conservation: sent = arrived + lost + ring-dropped + switch-dropped + in-flight",
         now,
         ok,
         || {
             format!(
                 "frames_sent={sent} vs arrived={arrived} + lost={lost} + \
-                 ring_dropped={ring_dropped} (quiescent={quiescent})"
+                 ring_dropped={ring_dropped} + switch_dropped={switch_dropped} \
+                 (quiescent={quiescent})"
             )
         },
     );
@@ -1594,7 +1712,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not wired")]
+    #[should_panic(expected = "neither wired to each other nor both router-attached")]
     fn connecting_unwired_ports_panics() {
         let a = HostStack::new("a", 2, StackParams::default(), IoatConfig::disabled());
         let b = HostStack::new("b", 2, StackParams::default(), IoatConfig::disabled());

@@ -6,6 +6,8 @@
 //! * [`simcore`] — deterministic discrete-event kernel.
 //! * [`memsim`] — cache / copy / DMA-engine models.
 //! * [`netsim`] — links, switch, NIC and TCP/IP stack models.
+//! * [`fabric`] — fat-tree/Clos switch fabrics with shared buffers and
+//!   deterministic ECMP.
 //! * [`core`] — the I/OAT cluster model and micro-benchmark suite.
 //! * [`datacenter`] — multi-tier data-center application domain.
 //! * [`pvfs`] — parallel virtual file system application domain.
@@ -18,6 +20,7 @@
 
 pub use ioat_core as core;
 pub use ioat_datacenter as datacenter;
+pub use ioat_fabric as fabric;
 pub use ioat_faults as faults;
 pub use ioat_memsim as memsim;
 pub use ioat_netsim as netsim;
