@@ -1,0 +1,94 @@
+//! Self-timed micro-benches over the simulation engine's hot paths:
+//! event-queue schedule/cancel/pop, the netsim stack pump, the Zipf
+//! workload sampler, and a partitioned (parsim) window round.
+//!
+//! Bench IDs are stable across refactors — each name identifies a
+//! *workload* attached to a public entrypoint (`Sim::schedule` /
+//! `Sim::cancel` / `Sim::run_until`, `bandwidth::run`,
+//! `ZipfTrace::next_request`, `run_partitioned`), not an implementation
+//! detail. When call sites move, update the wiring here and keep the ID.
+//! Fixtures are deterministic: fixed seeds, explicit sizes in the ID.
+
+use ioat_bench::microtime::{bench, group, DEFAULT_ITERS};
+use ioat_core::microbench::bandwidth;
+use ioat_core::IoatConfig;
+use ioat_datacenter::run_partitioned;
+use ioat_datacenter::scale::ScaleConfig;
+use ioat_datacenter::workload::{FileCatalog, Trace, ZipfTrace};
+use ioat_simcore::{Sim, SimDuration, SimRng, SimTime};
+
+/// xorshift64* — same generator as the queue differential test: tiny,
+/// seedable, no host entropy.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Schedule `n` no-op events with colliding 0..256 ns delays, cancelling
+/// every other handle when `cancel` is set, then drain the queue. The
+/// slab queue's three O(log n)/O(1) operations — push, cancel, pop —
+/// dominate; the event bodies are empty.
+fn queue_churn(n: u64, cancel: bool) -> u64 {
+    let mut sim = Sim::new();
+    let mut rng = XorShift(0x5EED_CAFE);
+    let mut handles = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let delay = SimDuration::from_nanos(rng.next_u64() % 256);
+        handles.push(sim.schedule(delay, |_| {}));
+    }
+    if cancel {
+        for id in handles.iter().step_by(2) {
+            sim.cancel(*id);
+        }
+    }
+    sim.run_until(SimTime::from_nanos(1_000));
+    sim.events_executed()
+}
+
+fn main() {
+    group("engine_hotpaths");
+
+    bench("engine.queue/schedule_pop_100k", DEFAULT_ITERS, || {
+        queue_churn(100_000, false)
+    });
+    bench("engine.queue/cancel_storm_100k", DEFAULT_ITERS, || {
+        queue_churn(100_000, true)
+    });
+
+    // The netsim stack pump end to end: one quick-window single-port
+    // bandwidth run, non-I/OAT (the copy-heavy path). Frame segmentation,
+    // wire serialization, ACK clocking, and the receive cost model all
+    // ride the pump.
+    bench("engine.stack/pump_1port_quick", DEFAULT_ITERS, || {
+        bandwidth::run(
+            &bandwidth::BandwidthConfig::quick_test(),
+            IoatConfig::disabled(),
+        )
+        .mbps
+    });
+
+    // The Zipf sampler the datacenter's emulated clients draw from:
+    // 1M CDF binary searches over a 10K-document heavy-tailed catalog.
+    bench("engine.zipf/draw_1m_10k_docs", DEFAULT_ITERS, || {
+        let mut rng = SimRng::seed_from(0xD1CE);
+        let catalog = FileCatalog::web_content(10_000, 8 * 1024, &mut rng);
+        let mut trace = ZipfTrace::new(catalog, 0.9, SimRng::seed_from(7));
+        (0..1_000_000u64).fold(0u64, |acc, _| acc + u64::from(trace.next_request().file_id))
+    });
+
+    // A whole partitioned run of the quick-test datacenter (fat-tree(4),
+    // 3 partitions) on 2 workers: window computation, barrier exchange,
+    // and the deterministic merge — the parsim engine's round trip.
+    bench("engine.parsim/quicktest_2workers", DEFAULT_ITERS, || {
+        let (res, rep) = run_partitioned(&ScaleConfig::quick_test(IoatConfig::full()), 2);
+        (res.completed, rep.rounds)
+    });
+}

@@ -3,8 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--list] [--quick] [--audit] [--jobs N] [--retries N]
-//!       [--fail <target>] [--json <path>] [--trace <path>] [target ...]
+//! repro [--list] [--quick] [--audit] [--jobs N] [--sim-threads N]
+//!       [--retries N] [--fail <target>] [--json <path>]
+//!       [--trace <path>] [target ...]
 //! ```
 //!
 //! With no targets (or `all`) every figure runs. `--list` prints the
@@ -12,7 +13,11 @@
 //! measurement windows (for smoke tests); the default windows match
 //! `EXPERIMENTS.md`. `--jobs N` sets the sweep-executor worker count
 //! (default: available parallelism; results are bit-identical at any
-//! count). `--json <path>` additionally writes every figure's rows and
+//! count). `--sim-threads N` sets the partitioned-engine worker count
+//! for the figures that run on it (the `fig_fabric` family): one
+//! simulation is split across N conservative-synchronization workers,
+//! and the deterministic merge keeps results bit-identical at any N
+//! (default 1). `--json <path>` additionally writes every figure's rows and
 //! wall-clock timings as a machine-readable report. `--trace <path>`
 //! runs the Fig. 7 configuration with the telemetry tracer on, prints
 //! the per-category CPU split-up and writes a Perfetto-loadable Chrome
@@ -76,6 +81,7 @@ const FLAGS: &[&str] = &[
     "--quick",
     "--audit",
     "--jobs",
+    "--sim-threads",
     "--retries",
     "--fail",
     "--json",
@@ -115,8 +121,8 @@ fn print_list() {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [--list] [--quick] [--audit] [--jobs N] [--retries N] \
-         [--fail <target>] [--json <path>] [--trace <path>] [target ...]"
+        "usage: repro [--list] [--quick] [--audit] [--jobs N] [--sim-threads N] \
+         [--retries N] [--fail <target>] [--json <path>] [--trace <path>] [target ...]"
     );
     std::process::exit(2);
 }
@@ -127,6 +133,7 @@ struct Cli {
     quick: bool,
     audit: bool,
     jobs: usize,
+    sim_threads: usize,
     retries: usize,
     fail: Option<String>,
     json_path: Option<String>,
@@ -145,6 +152,7 @@ fn parse_cli(args: Vec<String>) -> Cli {
         quick: false,
         audit: false,
         jobs: figs::sweep::default_jobs(),
+        sim_threads: 1,
         retries: 0,
         fail: None,
         json_path: None,
@@ -152,6 +160,7 @@ fn parse_cli(args: Vec<String>) -> Cli {
         targets: Vec::new(),
     };
     let mut jobs_seen = false;
+    let mut sim_threads_seen = false;
     let mut retries_seen = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -190,6 +199,21 @@ fn parse_cli(args: Vec<String>) -> Cli {
                 cli.jobs = match val.parse::<usize>() {
                     Ok(n) if n >= 1 => n,
                     _ => die(&format!("--jobs needs a positive integer, got '{val}'")),
+                };
+            }
+            "--sim-threads" => {
+                if sim_threads_seen {
+                    die("--sim-threads given more than once");
+                }
+                sim_threads_seen = true;
+                let val = it
+                    .next()
+                    .unwrap_or_else(|| die("--sim-threads needs a worker count"));
+                cli.sim_threads = match val.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => die(&format!(
+                        "--sim-threads needs a positive integer, got '{val}'"
+                    )),
                 };
             }
             "--json" => {
@@ -249,6 +273,17 @@ fn main() {
             );
             std::process::exit(2);
         }
+        // The forced-panic smoke drives the sequential sweep pool; with
+        // partitioned-engine workers live the panic could land while a
+        // worker holds the window barrier, turning a clean classified
+        // failure into a wedged run. Unsupported, so rejected up front.
+        if cli.sim_threads > 1 {
+            eprintln!(
+                "error: --fail cannot be combined with --sim-threads > 1 — the \
+                 forced-panic watchdog smoke only supports the sequential engine"
+            );
+            std::process::exit(2);
+        }
     }
 
     if let Some(path) = &cli.trace_path {
@@ -266,6 +301,7 @@ fn main() {
         retries: cli.retries,
         event_budget: None,
         force_fail: cli.fail.clone(),
+        sim_threads: cli.sim_threads,
     };
     let mut results = Vec::new();
     for (name, _) in TARGETS {
@@ -286,6 +322,7 @@ fn main() {
         let meta = RunMeta {
             quick: cli.quick,
             jobs: cli.jobs,
+            sim_threads: cli.sim_threads,
             total_wall_ms,
         };
         let doc = report::render_json(&meta, &results);

@@ -20,7 +20,8 @@ use ioat_core::metrics::ExperimentWindow;
 use ioat_core::microbench::{bandwidth, bidirectional, copybench, multistream, sockopts, splitup};
 use ioat_core::{IoatConfig, SocketOpts};
 use ioat_datacenter::emulated::{self, EmulatedConfig};
-use ioat_datacenter::scale::{self, ScaleConfig};
+use ioat_datacenter::run_partitioned;
+use ioat_datacenter::scale::ScaleConfig;
 use ioat_datacenter::tiers::{self, DataCenterConfig};
 use ioat_pvfs::harness::{concurrent_read, concurrent_write, multi_stream_read, PvfsConfig};
 
@@ -69,6 +70,29 @@ pub struct PinningRow {
     /// Total user-level DMA copy cost (µs) at 25 ns / 250 ns / 1 µs
     /// per-page pinning.
     pub pin_us: [f64; 3],
+}
+
+/// Parallel-engine telemetry for one partitioned simulation: the
+/// thread-count-invariant slice of the `ioat-parsim` run report.
+/// Everything here is a pure function of the configuration — the
+/// partition layout, per-partition event counts, and the
+/// synchronization windows the conservative engine achieved — so it
+/// participates in determinism comparisons. The worker-thread count is
+/// deliberately excluded: like `wall_ms` it describes the host, not the
+/// model, and the determinism contract says it must be unobservable.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ParsimStats {
+    /// Which simulation within the figure ("k=16 o=1 102K non", ...).
+    pub label: String,
+    /// Partitions the run was split into (fabric + one per server group).
+    pub partitions: usize,
+    /// Synchronization windows (rounds) the conservative engine executed.
+    pub rounds: u64,
+    /// Mean achieved window width in nanoseconds (horizon / rounds).
+    pub mean_window_ns: f64,
+    /// Events executed per partition; index 0 is the fabric partition.
+    pub events: Vec<u64>,
 }
 
 /// The rows of one figure, preserving each table's native shape.
@@ -135,6 +159,11 @@ pub struct FigureResult {
     /// for a figure that completed cleanly; serialized as `status` +
     /// `error` in the JSON report.
     pub error: Option<String>,
+    /// Parallel-in-simulation telemetry, one entry per partitioned
+    /// simulation the figure built (the `fig_fabric` family; empty
+    /// elsewhere). Thread-count invariant, so included in determinism
+    /// comparisons; serialized as `parsim` in the schema-4 JSON report.
+    pub parsim: Vec<ParsimStats>,
 }
 
 impl FigureResult {
@@ -149,6 +178,7 @@ impl FigureResult {
             sim_events: 0,
             peak_rss_bytes: None,
             error: None,
+            parsim: Vec::new(),
         }
     }
 
@@ -778,16 +808,19 @@ pub fn ablation_faults(window: ExperimentWindow, jobs: usize) -> FigureResult {
     fig
 }
 
-/// The fabric family — the datacenter behind a fat-tree Clos fabric
-/// (`ioat_datacenter::scale`), swept over host count × oversubscription
-/// with I/OAT on/off. Quick windows run a two-point smoke on a 1024-host
-/// fat-tree(16) with ~10 K emulated clients; full windows add the
-/// oversubscription sweep at ~100 K clients and the fat-tree(24)
-/// headline point fronting ~10⁶ clients. Unlike the paper figures this
-/// family also reports simulator scale: total events executed (and thus
-/// events/sec in the JSON report) plus per-point tail-latency and
-/// switch-drop notes.
-pub fn fig_fabric(window: ExperimentWindow, jobs: usize) -> FigureResult {
+/// The fabric family — the datacenter behind a fat-tree Clos fabric,
+/// swept over host count × oversubscription with I/OAT on/off. Quick
+/// windows run a two-point smoke on a 1024-host fat-tree(16) with
+/// ~10 K emulated clients; full windows add the oversubscription sweep
+/// at ~100 K clients and the fat-tree(24) headline point fronting
+/// ~10⁶ clients. Every point runs on the conservative parallel engine
+/// (`ioat_datacenter::run_partitioned`) with `sim_threads` workers —
+/// results are bit-identical at any worker count, so `sim_threads` only
+/// buys wall-clock. Unlike the paper figures this family also reports
+/// simulator scale: total events executed (and thus events/sec in the
+/// JSON report), per-partition event counts and achieved window sizes
+/// ([`ParsimStats`]), plus per-point tail-latency and switch-drop notes.
+pub fn fig_fabric(window: ExperimentWindow, jobs: usize, sim_threads: usize) -> FigureResult {
     let quick = window.measure <= ExperimentWindow::quick().measure;
     let points: Vec<(usize, f64, usize)> = if quick {
         vec![(16, 1.0, 10_240), (16, 4.0, 10_240)]
@@ -799,7 +832,7 @@ pub fn fig_fabric(window: ExperimentWindow, jobs: usize) -> FigureResult {
             (24, 4.0, 1_000_512),
         ]
     };
-    fig_fabric_points(points, window, jobs)
+    fig_fabric_points(points, window, jobs, sim_threads)
 }
 
 /// The `fig_fabric` sweep over an explicit `(k, oversubscription,
@@ -810,7 +843,9 @@ pub fn fig_fabric_points(
     points: Vec<(usize, f64, usize)>,
     window: ExperimentWindow,
     jobs: usize,
+    sim_threads: usize,
 ) -> FigureResult {
+    let sim_threads = sim_threads.max(1);
     let results = sweep::run_jobs(
         points
             .into_iter()
@@ -821,10 +856,11 @@ pub fn fig_fabric_points(
                     non_cfg.window = window;
                     let mut ioat_cfg = non_cfg;
                     ioat_cfg.ioat = IoatConfig::full();
-                    let non = scale::run(&non_cfg);
-                    let ioat = scale::run(&ioat_cfg);
+                    let (non, non_rep) = run_partitioned(&non_cfg, sim_threads);
+                    let (ioat, ioat_rep) = run_partitioned(&ioat_cfg, sim_threads);
+                    let label = format!("k={k} o={oversub:.0} {}K", clients / 1000);
                     let row = Row {
-                        label: format!("k={k} o={oversub:.0} {}K", clients / 1000),
+                        label: label.clone(),
                         non_ioat: non.tps,
                         ioat: ioat.tps,
                         non_cpu: non.proxy_cpu,
@@ -839,7 +875,17 @@ pub fn fig_fabric_points(
                         non.tail_drops + ioat.tail_drops,
                         ioat.web_cpu * 100.0
                     );
-                    (row, note, non.sim_events + ioat.sim_events)
+                    let parsim: Vec<ParsimStats> = [("non", &non_rep), ("ioat", &ioat_rep)]
+                        .into_iter()
+                        .map(|(suffix, rep)| ParsimStats {
+                            label: format!("{label} {suffix}"),
+                            partitions: rep.partitions,
+                            rounds: rep.rounds,
+                            mean_window_ns: rep.mean_window_ns(),
+                            events: rep.events.clone(),
+                        })
+                        .collect();
+                    (row, note, non.sim_events + ioat.sim_events, parsim)
                 }
             })
             .collect::<Vec<_>>(),
@@ -851,12 +897,13 @@ pub fn fig_fabric_points(
         "TPS",
         FigureRows::Compare(Vec::with_capacity(results.len())),
     );
-    for (row, note, events) in results {
+    for (row, note, events, parsim) in results {
         if let FigureRows::Compare(rows) = &mut fig.rows {
             rows.push(row);
         }
         fig.notes.push(note);
         fig.sim_events += events;
+        fig.parsim.extend(parsim);
     }
     fig
 }
@@ -880,7 +927,16 @@ pub fn peak_rss_bytes() -> Option<u64> {
 
 /// Builds one figure by target name, timing the build. Returns `None`
 /// for an unknown name — the `repro` CLI validates names first.
-pub fn run_figure(name: &str, window: ExperimentWindow, jobs: usize) -> Option<FigureResult> {
+/// `sim_threads` sets the partitioned-engine worker count for the
+/// figures that run on it (the `fig_fabric` family; the paper figures
+/// are single simulations and ignore it). Results are bit-identical at
+/// any `sim_threads` value.
+pub fn run_figure(
+    name: &str,
+    window: ExperimentWindow,
+    jobs: usize,
+    sim_threads: usize,
+) -> Option<FigureResult> {
     let start = std::time::Instant::now();
     let mut fig = match name {
         "fig3a" => fig3a(window, jobs),
@@ -901,7 +957,7 @@ pub fn run_figure(name: &str, window: ExperimentWindow, jobs: usize) -> Option<F
         "abl-mq" => ablation_multiqueue(window, jobs),
         "abl-copy" => ablation_async_memcpy(jobs),
         "abl-faults" => ablation_faults(window, jobs),
-        "fig_fabric" => fig_fabric(window, jobs),
+        "fig_fabric" => fig_fabric(window, jobs, sim_threads),
         _ => return None,
     };
     fig.wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -910,7 +966,7 @@ pub fn run_figure(name: &str, window: ExperimentWindow, jobs: usize) -> Option<F
 }
 
 /// Options for [`run_figure_supervised`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SuperviseOpts {
     /// Open an audit scope around the figure (the `--audit` flag): every
     /// runtime invariant check collects a structured violation instead of
@@ -930,6 +986,21 @@ pub struct SuperviseOpts {
     /// crashing figure is isolated and reported without faking anything
     /// in the reporting path itself.
     pub force_fail: Option<String>,
+    /// Partitioned-engine worker count for the figures that run on it
+    /// (the `--sim-threads` flag; see [`run_figure`]). Defaults to 1.
+    pub sim_threads: usize,
+}
+
+impl Default for SuperviseOpts {
+    fn default() -> Self {
+        SuperviseOpts {
+            audit: false,
+            retries: 0,
+            event_budget: None,
+            force_fail: None,
+            sim_threads: 1,
+        }
+    }
 }
 
 /// [`run_figure`] under supervision: panics (including the event-budget
@@ -959,7 +1030,7 @@ pub fn run_figure_supervised(
                 ];
                 sweep::run_jobs(poison, jobs);
             }
-            run_figure(name, window, jobs)
+            run_figure(name, window, jobs, opts.sim_threads)
         };
         let (result, violations) = if opts.audit {
             ioat_guard::with_audit_budget(opts.event_budget, build)
@@ -1138,11 +1209,11 @@ mod tests {
 
     #[test]
     fn run_figure_times_and_dispatches() {
-        let fig = run_figure("fig6", ExperimentWindow::quick(), 1).expect("fig6 is known");
+        let fig = run_figure("fig6", ExperimentWindow::quick(), 1, 1).expect("fig6 is known");
         assert_eq!(fig.name, "fig6");
         assert!(fig.wall_ms > 0.0);
         assert!(fig.error.is_none(), "unsupervised success carries no error");
-        assert!(run_figure("nope", ExperimentWindow::quick(), 1).is_none());
+        assert!(run_figure("nope", ExperimentWindow::quick(), 1, 1).is_none());
     }
 
     #[test]
@@ -1151,7 +1222,7 @@ mod tests {
         // bit-identical with the audit scope open and closed, because
         // audits are pure reads at quiescent points.
         let w = ExperimentWindow::quick();
-        let plain = run_figure("fig6", w, 2).expect("known");
+        let plain = run_figure("fig6", w, 2, 1).expect("known");
         let opts = SuperviseOpts {
             audit: true,
             ..SuperviseOpts::default()

@@ -19,6 +19,15 @@
 //! `wall_ms`, null when either is unavailable), and `peak_rss_bytes`
 //! (process `VmHWM`, null off-Linux). Like `*_wall_ms`, the last two
 //! vary between hosts and must be stripped before determinism diffs.
+//!
+//! Schema `ioat-bench/4` adds the parallel-in-simulation fields:
+//! `sim_threads` in the header (the `--sim-threads` worker count the run
+//! was *requested* with — host policy, like `jobs`) and a per-figure
+//! `parsim` array (one entry per partitioned simulation: partition
+//! count, rounds, mean achieved window in nanoseconds, and per-partition
+//! event counts). The `parsim` payload is deliberately thread-count
+//! invariant — it is part of the determinism contract and must be
+//! byte-identical at any `--sim-threads` value.
 
 use crate::{FigureResult, FigureRows};
 use std::fmt::Write as _;
@@ -59,6 +68,10 @@ pub struct RunMeta {
     pub quick: bool,
     /// Worker count the sweep executor ran with.
     pub jobs: usize,
+    /// Partitioned-engine worker count the run was requested with
+    /// (`--sim-threads`). Header-only: per-figure payloads stay
+    /// thread-count invariant.
+    pub sim_threads: usize,
     /// Wall-clock for the whole run in milliseconds (all figures,
     /// including render time).
     pub total_wall_ms: f64,
@@ -68,9 +81,10 @@ pub struct RunMeta {
 pub fn render_json(meta: &RunMeta, figures: &[FigureResult]) -> String {
     let mut out = String::with_capacity(figures.len() * 2048 + 256);
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"ioat-bench/3\",");
+    let _ = writeln!(out, "  \"schema\": \"ioat-bench/4\",");
     let _ = writeln!(out, "  \"quick\": {},", meta.quick);
     let _ = writeln!(out, "  \"jobs\": {},", meta.jobs);
+    let _ = writeln!(out, "  \"sim_threads\": {},", meta.sim_threads);
     let _ = writeln!(out, "  \"total_wall_ms\": {},", num(meta.total_wall_ms));
     out.push_str("  \"figures\": [");
     for (i, fig) in figures.iter().enumerate() {
@@ -198,6 +212,29 @@ fn figure_json(fig: &FigureResult, indent: &str) -> String {
         }
         let _ = write!(out, "\"{}\"", esc(note));
     }
+    // Schema 4: one entry per partitioned simulation the figure built
+    // (empty for figures that don't run on the parallel engine). All
+    // values are thread-count invariant.
+    let _ = write!(out, "],\n{indent} \"parsim\": [");
+    for (i, p) in fig.parsim.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let events: Vec<String> = p.events.iter().map(|e| e.to_string()).collect();
+        let _ = write!(
+            out,
+            "\n{indent}  {{\"label\": \"{}\", \"partitions\": {}, \"rounds\": {}, \
+             \"mean_window_ns\": {}, \"events\": [{}]}}",
+            esc(&p.label),
+            p.partitions,
+            p.rounds,
+            num(p.mean_window_ns),
+            events.join(", ")
+        );
+    }
+    if !fig.parsim.is_empty() {
+        let _ = write!(out, "\n{indent} ");
+    }
     out.push_str("]}");
     out
 }
@@ -214,7 +251,7 @@ fn kind_name(rows: &FigureRows) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{PinningRow, Row};
+    use crate::{ParsimStats, PinningRow, Row};
 
     /// Minimal structural JSON check: balanced braces/brackets outside
     /// strings, no unterminated strings, no bare NaN/Infinity tokens.
@@ -265,6 +302,13 @@ mod tests {
                 sim_events: 25_000,
                 peak_rss_bytes: Some(64 << 20),
                 error: None,
+                parsim: vec![ParsimStats {
+                    label: "k=4 o=1 0K non".into(),
+                    partitions: 3,
+                    rounds: 40,
+                    mean_window_ns: 125000.5,
+                    events: vec![100, 2000, 3000],
+                }],
             },
             FigureResult {
                 name: "abl-copy".into(),
@@ -279,6 +323,7 @@ mod tests {
                 sim_events: 0,
                 peak_rss_bytes: None,
                 error: None,
+                parsim: Vec::new(),
             },
         ]
     }
@@ -288,12 +333,14 @@ mod tests {
         let meta = RunMeta {
             quick: true,
             jobs: 8,
+            sim_threads: 2,
             total_wall_ms: 99.0,
         };
         let doc = render_json(&meta, &sample_figures());
         assert_well_formed(&doc);
-        assert!(doc.contains("\"schema\": \"ioat-bench/3\""));
+        assert!(doc.contains("\"schema\": \"ioat-bench/4\""));
         assert!(doc.contains("\"jobs\": 8"));
+        assert!(doc.contains("\"sim_threads\": 2"));
         assert!(doc.contains("\"name\": \"fig3a\""));
         assert!(doc.contains("\"kind\": \"compare\""));
         assert!(doc.contains("\"kind\": \"pinning\""));
@@ -311,6 +358,15 @@ mod tests {
         assert!(doc.contains("\"ioat_cpu\": null"), "NaN becomes null");
         assert!(doc.contains("\"pin_us\": [1, 2, 3]"));
         assert!(doc.contains("a \\\"note\\\""), "notes are escaped");
+        // Schema 4: the partitioned figure carries its parsim telemetry;
+        // the non-partitioned one renders an empty array.
+        assert!(doc.contains("\"parsim\": ["));
+        assert!(doc.contains("\"parsim\": []"));
+        assert!(doc.contains("\"label\": \"k=4 o=1 0K non\""));
+        assert!(doc.contains("\"partitions\": 3"));
+        assert!(doc.contains("\"rounds\": 40"));
+        assert!(doc.contains("\"mean_window_ns\": 125000.5"));
+        assert!(doc.contains("\"events\": [100, 2000, 3000]"));
     }
 
     /// Inverse of [`esc`], for round-trip testing only: decodes the
@@ -369,10 +425,18 @@ mod tests {
             sim_events: 0,
             peak_rss_bytes: None,
             error: Some(format!("panicked: {hostile}")),
+            parsim: vec![crate::ParsimStats {
+                label: hostile.into(),
+                partitions: 1,
+                rounds: 1,
+                mean_window_ns: f64::NAN,
+                events: vec![7],
+            }],
         };
         let meta = RunMeta {
             quick: false,
             jobs: 1,
+            sim_threads: 1,
             total_wall_ms: 1.0,
         };
         let doc = render_json(&meta, &[fig]);
@@ -395,6 +459,7 @@ mod tests {
         let meta = RunMeta {
             quick: true,
             jobs: 1,
+            sim_threads: 1,
             total_wall_ms: f64::INFINITY,
         };
         let mut figs = sample_figures();
@@ -416,6 +481,7 @@ mod tests {
         let meta = RunMeta {
             quick: false,
             jobs: 1,
+            sim_threads: 1,
             total_wall_ms: 0.0,
         };
         assert_well_formed(&render_json(&meta, &[]));

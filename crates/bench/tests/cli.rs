@@ -100,12 +100,85 @@ fn quick_run_with_jobs_and_json_writes_report() {
         "table still renders alongside --json"
     );
     let doc = std::fs::read_to_string(&path).expect("report written");
-    assert!(doc.contains("\"schema\": \"ioat-bench/3\""));
+    assert!(doc.contains("\"schema\": \"ioat-bench/4\""));
     assert!(doc.contains("\"name\": \"fig6\""));
     assert!(doc.contains("\"status\": \"ok\""));
     assert!(doc.contains("\"error\": null"));
     assert!(doc.contains("\"jobs\": 2"));
+    assert!(doc.contains("\"sim_threads\": 1"), "default is 1");
+    assert!(doc.contains("\"parsim\": []"), "fig6 is not partitioned");
     assert!(doc.contains("\"total_wall_ms\""));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sim_threads_flag_validates_its_value() {
+    // Satellite contract for `--sim-threads`: reject a missing value,
+    // zero (a partitioned run needs at least one worker), non-numeric
+    // values, and repetition — all before any figure runs.
+    for bad in [
+        &["--sim-threads"][..],
+        &["--sim-threads", "0"],
+        &["--sim-threads", "many"],
+        &["--sim-threads", "-2"],
+    ] {
+        let out = repro(bad);
+        assert_eq!(out.status.code(), Some(2), "args: {bad:?}");
+        assert!(stderr(&out).contains("--sim-threads"), "args: {bad:?}");
+    }
+    let out = repro(&["--sim-threads", "2", "--sim-threads", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--sim-threads given more than once"));
+}
+
+#[test]
+fn sim_threads_typo_gets_a_suggestion() {
+    let out = repro(&["--sim-thread", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag '--sim-thread'"), "stderr: {err}");
+    assert!(err.contains("--sim-threads"), "suggests the flag: {err}");
+}
+
+#[test]
+fn sim_threads_rejects_the_fail_watchdog_combination() {
+    // The forced-panic smoke only supports the sequential engine; the
+    // combination must be rejected up front (exit 2), in either order.
+    for args in [
+        &["--sim-threads", "2", "--fail", "fig6", "fig6"][..],
+        &["--fail", "fig6", "--sim-threads", "4", "fig6"],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        let err = stderr(&out);
+        assert!(err.contains("--fail"), "stderr: {err}");
+        assert!(err.contains("--sim-threads"), "stderr: {err}");
+    }
+    // `--sim-threads 1` (the default engine) keeps the smoke available.
+    let out = repro(&["--quick", "--sim-threads", "1", "--fail", "fig6", "fig6"]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn sim_threads_is_recorded_in_the_report_header() {
+    let path = std::env::temp_dir().join("ioat_bench_cli_simthreads.json");
+    let _ = std::fs::remove_file(&path);
+    let out = repro(&[
+        "--quick",
+        "--jobs",
+        "2",
+        "--sim-threads",
+        "4",
+        "--json",
+        path.to_str().unwrap(),
+        "fig6",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let doc = std::fs::read_to_string(&path).expect("report written");
+    assert!(
+        doc.contains("\"sim_threads\": 4"),
+        "header records the flag"
+    );
     let _ = std::fs::remove_file(&path);
 }
 

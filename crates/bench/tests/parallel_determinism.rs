@@ -16,8 +16,8 @@ use ioat_core::metrics::ExperimentWindow;
 /// host, not the model).
 fn assert_jobs_invariant(name: &str) {
     let w = ExperimentWindow::quick();
-    let seq = figs::run_figure(name, w, 1).expect("known figure");
-    let par = figs::run_figure(name, w, 8).expect("known figure");
+    let seq = figs::run_figure(name, w, 1, 1).expect("known figure");
+    let par = figs::run_figure(name, w, 8, 1).expect("known figure");
     assert_eq!(
         seq.rows, par.rows,
         "{name}: rows must be bit-identical at --jobs 1 and --jobs 8"
@@ -84,8 +84,8 @@ fn fabric_mini_points() -> Vec<(usize, f64, usize)> {
 #[test]
 fn fig_fabric_rows_identical_across_jobs() {
     let w = ExperimentWindow::quick();
-    let seq = figs::fig_fabric_points(fabric_mini_points(), w, 1);
-    let par = figs::fig_fabric_points(fabric_mini_points(), w, 8);
+    let seq = figs::fig_fabric_points(fabric_mini_points(), w, 1, 1);
+    let par = figs::fig_fabric_points(fabric_mini_points(), w, 8, 1);
     assert_eq!(
         seq.rows, par.rows,
         "fig_fabric rows must be bit-identical at --jobs 1 and --jobs 8"
@@ -104,8 +104,8 @@ fn fig_fabric_same_seed_runs_are_identical() {
     // Two whole-figure runs in the same process: every simulation is
     // rebuilt from its seeds, so nothing may leak between runs.
     let w = ExperimentWindow::quick();
-    let a = figs::fig_fabric_points(fabric_mini_points(), w, 4);
-    let b = figs::fig_fabric_points(fabric_mini_points(), w, 4);
+    let a = figs::fig_fabric_points(fabric_mini_points(), w, 4, 1);
+    let b = figs::fig_fabric_points(fabric_mini_points(), w, 4, 1);
     assert_eq!(a.rows, b.rows, "same-seed re-run must reproduce the rows");
     assert_eq!(a.notes, b.notes);
     assert_eq!(a.sim_events, b.sim_events);
@@ -120,13 +120,14 @@ fn fig_fabric_json_identical_across_jobs_with_host_fields_pinned() {
     use ioat_bench::report::{render_json, RunMeta};
     let w = ExperimentWindow::quick();
     let render = |jobs: usize| {
-        let mut fig = figs::fig_fabric_points(fabric_mini_points(), w, jobs);
+        let mut fig = figs::fig_fabric_points(fabric_mini_points(), w, jobs, 1);
         fig.wall_ms = 0.0;
         fig.peak_rss_bytes = None;
         render_json(
             &RunMeta {
                 quick: true,
                 jobs: 0,
+                sim_threads: 0,
                 total_wall_ms: 0.0,
             },
             &[fig],
@@ -139,6 +140,77 @@ fn fig_fabric_json_identical_across_jobs_with_host_fields_pinned() {
 }
 
 #[test]
+fn fig_fabric_rows_identical_across_sim_threads() {
+    // The PR 7 acceptance criterion at figure granularity: the same
+    // figure built on the partitioned engine with 1, 2, and 8 workers
+    // must be bit-identical — rows, notes, event counts, and the parsim
+    // telemetry itself (partition layout and achieved windows are
+    // functions of the configuration, never of the worker count).
+    let w = ExperimentWindow::quick();
+    let t1 = figs::fig_fabric_points(fabric_mini_points(), w, 1, 1);
+    let t2 = figs::fig_fabric_points(fabric_mini_points(), w, 1, 2);
+    let t8 = figs::fig_fabric_points(fabric_mini_points(), w, 1, 8);
+    for (threads, par) in [(2, &t2), (8, &t8)] {
+        assert_eq!(
+            t1.rows, par.rows,
+            "rows must be bit-identical at --sim-threads 1 and {threads}"
+        );
+        assert_eq!(t1.notes, par.notes, "notes at --sim-threads {threads}");
+        assert_eq!(
+            t1.sim_events, par.sim_events,
+            "event totals at --sim-threads {threads}"
+        );
+        assert_eq!(
+            t1.parsim, par.parsim,
+            "parsim telemetry at --sim-threads {threads}"
+        );
+    }
+    assert!(!t1.parsim.is_empty(), "the fabric figure reports telemetry");
+    for stats in &t1.parsim {
+        assert!(stats.partitions >= 2, "fabric + at least one group");
+        assert!(stats.rounds > 0, "the engine executed windows");
+        assert!(stats.mean_window_ns > 0.0, "achieved windows are positive");
+        assert_eq!(
+            stats.events.len(),
+            stats.partitions,
+            "one event count per partition"
+        );
+        assert!(
+            stats.events.iter().sum::<u64>() > 0,
+            "partitions executed events"
+        );
+    }
+}
+
+#[test]
+fn fig_fabric_json_identical_across_sim_threads() {
+    // CI's sim-threads determinism gate at unit scale: the schema-4 JSON
+    // (host fields pinned, header excluded per contract — `sim_threads`
+    // in the header records the request, like `jobs`) must be identical
+    // at --sim-threads 1 and 4.
+    use ioat_bench::report::{render_json, RunMeta};
+    let w = ExperimentWindow::quick();
+    let render = |sim_threads: usize| {
+        let mut fig = figs::fig_fabric_points(fabric_mini_points(), w, 1, sim_threads);
+        fig.wall_ms = 0.0;
+        fig.peak_rss_bytes = None;
+        render_json(
+            &RunMeta {
+                quick: true,
+                jobs: 0,
+                sim_threads: 0,
+                total_wall_ms: 0.0,
+            },
+            &[fig],
+        )
+    };
+    let doc = render(1);
+    assert_eq!(doc, render(4));
+    assert!(doc.contains("\"parsim\": ["));
+    assert!(doc.contains("\"mean_window_ns\": "));
+}
+
+#[test]
 fn json_report_identical_across_jobs_modulo_wall_clock() {
     // The committed BENCH_*.json must be diffable across PRs: with the
     // wall-clock fields pinned, the whole document is worker-count
@@ -146,13 +218,14 @@ fn json_report_identical_across_jobs_modulo_wall_clock() {
     use ioat_bench::report::{render_json, RunMeta};
     let w = ExperimentWindow::quick();
     let render = |jobs: usize| {
-        let mut fig = figs::run_figure("fig3b", w, jobs).expect("known figure");
+        let mut fig = figs::run_figure("fig3b", w, jobs, 1).expect("known figure");
         fig.wall_ms = 0.0;
         fig.peak_rss_bytes = None;
         render_json(
             &RunMeta {
                 quick: true,
                 jobs: 0,
+                sim_threads: 0,
                 total_wall_ms: 0.0,
             },
             &[fig],

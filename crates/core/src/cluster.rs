@@ -8,7 +8,7 @@ use crate::calibration;
 use ioat_fabric::{Fabric, FabricParams, FabricRef, TopologySpec};
 use ioat_faults::{FaultInjector, FaultPlan};
 use ioat_netsim::stack::{self, HostStack, StackRef};
-use ioat_netsim::{ConnId, IoatConfig, Socket, SocketOpts, StackParams};
+use ioat_netsim::{ConnId, IoatConfig, Link, Socket, SocketOpts, StackParams};
 use ioat_simcore::time::Bandwidth;
 use ioat_simcore::{Sim, SimDuration};
 use ioat_telemetry::{Category, MetricsRegistry, Tracer, TrackId};
@@ -143,6 +143,55 @@ impl Cluster {
     pub fn attach_fabric_host(&mut self, node: NodeHandle, host: usize) -> usize {
         let fabric = self.fabric.as_ref().expect("no fabric installed");
         fabric.attach(&self.nodes[node.0], host)
+    }
+
+    /// Attaches `node` to an arbitrary [`FrameRouter`] at attachment index
+    /// `attachment` with an access link cut from `params` — the partition
+    ///-local counterpart of [`Cluster::attach_fabric_host`] for parallel
+    /// runs, where the real fabric lives in another partition and `router`
+    /// is the partition's cross-boundary proxy. Returns the node's new NIC
+    /// port index.
+    pub fn attach_router_host(
+        &mut self,
+        node: NodeHandle,
+        router: Rc<dyn stack::FrameRouter>,
+        attachment: usize,
+        params: &FabricParams,
+    ) -> usize {
+        let access = Link::new(
+            &format!("host{attachment}->router"),
+            params.host_bandwidth,
+            params.switch_latency,
+        );
+        stack::attach_router(
+            &self.nodes[node.0],
+            access,
+            params.coalescing,
+            router,
+            attachment,
+        )
+    }
+
+    /// Opens a connection between two local nodes over already-created
+    /// ports with a caller-chosen [`ConnId`]. Parallel runs use this to
+    /// assign globally deterministic connection ids independent of the
+    /// per-partition open order; the id must not collide with the
+    /// auto-assigned sequence of [`Cluster::open`]/
+    /// [`Cluster::open_on_fabric`] on the same cluster.
+    pub fn open_with_id(
+        &mut self,
+        a: NodeHandle,
+        port_a: usize,
+        b: NodeHandle,
+        port_b: usize,
+        opts: SocketOpts,
+        id: ConnId,
+    ) -> (Socket, Socket) {
+        stack::open_connection(&self.nodes[a.0], &self.nodes[b.0], port_a, port_b, opts, id);
+        (
+            Socket::new(Rc::clone(&self.nodes[a.0]), id),
+            Socket::new(Rc::clone(&self.nodes[b.0]), id),
+        )
     }
 
     /// Opens a connection routed through the fabric between the nodes
@@ -401,6 +450,27 @@ impl Cluster {
                 );
             }
         }
+    }
+
+    /// Runs only the partition-local audits: engine queue health and every
+    /// node's own conservation identities. Skips the cluster-wide frame
+    /// conservation check — in a parallel run, frames legitimately leave
+    /// this partition, so that identity only holds on totals summed
+    /// across *all* partitions (collect them with
+    /// [`Cluster::frame_totals`] and check with
+    /// [`stack::audit_cluster_conservation_sums`] after the merge).
+    pub fn run_local_audits(&self) {
+        let now = self.sim.now();
+        ioat_guard::audit_sim(&self.sim);
+        for node in &self.nodes {
+            node.borrow().audit(now);
+        }
+    }
+
+    /// This cluster's terms of the cross-partition frame-conservation
+    /// identity, as plain data safe to move across threads.
+    pub fn frame_totals(&self) -> stack::ClusterFrameTotals {
+        stack::frame_totals(&self.nodes)
     }
 }
 

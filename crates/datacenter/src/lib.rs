@@ -29,12 +29,14 @@ pub mod cache;
 pub mod costs;
 pub mod emulated;
 pub mod msg;
+pub mod parallel;
 pub mod scale;
 pub mod tiers;
 pub mod workload;
 
 pub use cache::LruCache;
 pub use costs::DataCenterCosts;
+pub use parallel::run_partitioned;
 pub use scale::{ScaleConfig, ScaleResult};
 pub use tiers::{DataCenterConfig, DataCenterResult};
 pub use workload::{FileCatalog, Request, SingleFileTrace, ZipfTrace};

@@ -1,0 +1,691 @@
+//! The fabric-scale datacenter of [`crate::scale`], partitioned for the
+//! conservative parallel engine in `ioat-parsim`.
+//!
+//! # Partitioning
+//!
+//! The scenario splits along its only long-latency cut: the switch
+//! fabric. Partition 0 owns the fabric (switch buffers, ECMP, hop-by-hop
+//! forwarding); partitions `1..=G` each own a *group* of servers — the
+//! `f = webs_per_proxy` proxies that share one web subset plus those `f`
+//! web servers — together with the emulated clients driving them. The
+//! sequential subset rule `w = (p·f + j) mod n_webs` makes proxies `p`
+//! and `p + G` (where `G = n_webs / f`) talk to the same webs, so group
+//! `g` holds proxies `{g, g+G, g+2G, …}` and webs `[g·f, (g+1)·f)`; every
+//! connection's two endpoints land in one partition and only *data
+//! frames* cross a boundary (into the fabric and back out). ACKs keep
+//! netsim's latency-only shortcut and turn around inside the group.
+//!
+//! The lookahead is [`ioat_fabric::Fabric::lookahead`] — every frame
+//! entering or leaving the fabric first crosses a link of
+//! `switch_latency`, so a partition executing at `t` can never affect
+//! another before `t + switch_latency`.
+//!
+//! # Determinism
+//!
+//! Results are a pure function of the configuration: bit-identical for
+//! any worker-thread count (the engine merges boundary messages by
+//! `(time, sending partition, sender sequence)`), and the partition
+//! layout itself is fixed by the config, never by `threads`. They are
+//! *not* numerically identical to the sequential [`crate::scale::run`] —
+//! partitioning reorders same-instant events and decorrelates the
+//! per-group Zipf streams — so sequential/partitioned comparisons are
+//! A/B experiments, not regression checks.
+
+use crate::costs::{DataCenterCosts, REQUEST_WIRE_BYTES};
+use crate::msg::{self, MsgSender};
+use crate::scale::{ScaleConfig, ScaleResult};
+use crate::workload::{FileCatalog, Trace, ZipfTrace};
+use ioat_core::cluster::{Cluster, NodeConfig, NodeHandle};
+use ioat_fabric::{Fabric, FabricRef, Topology};
+use ioat_netsim::stack::{self, ClusterFrameTotals, EgressMode, FrameRouter, StackRef};
+use ioat_netsim::{ConnId, Frame, Socket};
+use ioat_parsim::{Outbox, ParsimReport, Partition};
+use ioat_simcore::{Counter, Histogram, Sim, SimDuration, SimRng, SimTime, Summary};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A frame crossing a partition boundary. Plain `Copy` data — the only
+/// payload the groups and the fabric ever exchange.
+#[derive(Debug, Clone, Copy)]
+enum NetMsg {
+    /// Group → fabric: a frame from attachment `src` finished serializing
+    /// on its access link and enters the fabric at the firing instant.
+    Ingress { src: usize, frame: Frame },
+    /// Fabric → group: a frame's final hop targets `host`; it arrives at
+    /// the firing instant.
+    Deliver { host: usize, frame: Frame },
+}
+
+/// Sizes derived from the config once, shared by every builder.
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    n_proxies: usize,
+    n_webs: usize,
+    /// Webs (and proxies) per group.
+    f: usize,
+    /// Server groups; partitions are `0` (fabric) plus `1..=groups`.
+    groups: usize,
+}
+
+impl Layout {
+    fn of(cfg: &ScaleConfig) -> Layout {
+        let hosts = Topology::new(cfg.spec).hosts();
+        assert!(hosts >= 2, "need at least one proxy and one web host");
+        assert!(cfg.clients > 0, "need at least one client");
+        assert!(cfg.webs_per_proxy > 0, "need at least one web per proxy");
+        let n_proxies = hosts / 2;
+        let n_webs = hosts - n_proxies;
+        let f = cfg.webs_per_proxy.min(n_webs);
+        assert_eq!(
+            n_proxies, n_webs,
+            "partitioning pairs each proxy group with a web subset; \
+             it needs an even host count"
+        );
+        assert_eq!(
+            n_webs % f,
+            0,
+            "webs_per_proxy ({f}) must divide the web tier ({n_webs}) \
+             so subsets tile into disjoint groups"
+        );
+        Layout {
+            n_proxies,
+            n_webs,
+            f,
+            groups: n_webs / f,
+        }
+    }
+
+    /// The partition index owning topology host `host`.
+    fn partition_of_host(&self, host: usize) -> usize {
+        if host < self.n_proxies {
+            1 + host % self.groups
+        } else {
+            1 + (host - self.n_proxies) / self.f
+        }
+    }
+}
+
+/// Per (local proxy, subset slot) request-path endpoints, as in
+/// [`crate::scale`] but indexed group-locally.
+type ReqSlot = Option<(Socket, MsgSender<(u32, u64)>)>;
+
+/// Group-local run state: the partition's slice of the client slab plus
+/// its own streaming statistics, merged across partitions afterwards.
+struct GroupShared {
+    f: usize,
+    costs: DataCenterCosts,
+    think: SimDuration,
+    client_latency: SimDuration,
+    trace: RefCell<ZipfTrace>,
+    /// Local proxy index of each local client's proxy.
+    client_q: Vec<u32>,
+    started: RefCell<Vec<SimTime>>,
+    req: RefCell<Vec<ReqSlot>>,
+    completed: RefCell<Counter>,
+    latency_hist: RefCell<Histogram>,
+    latency_sum: RefCell<Summary>,
+}
+
+/// One closed-loop client iteration on its group's partition; mirrors
+/// [`crate::scale`]'s `fire` with local indices.
+fn fire(shared: &Rc<GroupShared>, sim: &mut Sim, slot: u32) {
+    let req = shared.trace.borrow_mut().next_request();
+    shared.started.borrow_mut()[slot as usize] = sim.now();
+    let q = shared.client_q[slot as usize] as usize;
+    let idx = q * shared.f + req.file_id as usize % shared.f;
+    let sh = Rc::clone(shared);
+    sim.schedule(shared.client_latency, move |sim| {
+        let sock = {
+            let senders = sh.req.borrow();
+            senders[idx].as_ref().expect("sender installed").0.clone()
+        };
+        let cost = sh.costs.proxy_parse + sh.costs.proxy_forward;
+        let sh2 = Rc::clone(&sh);
+        sock.compute(sim, cost, move |sim| {
+            let senders = sh2.req.borrow();
+            let (_, sender) = senders[idx].as_ref().expect("sender installed");
+            sender.send(sim, REQUEST_WIRE_BYTES, (slot, req.size));
+        });
+    });
+}
+
+/// A connection's group-local routing entry.
+struct ConnRoute {
+    /// The proxy-side attachment (the connection's `a` endpoint).
+    att_a: usize,
+    stack_a: StackRef,
+    stack_b: StackRef,
+    /// Reverse-path ACK latency: `switch_latency × path_links(a, b)`,
+    /// exactly the fabric's own ACK model.
+    ack_delay: SimDuration,
+}
+
+/// The group partition's [`FrameRouter`]: departing data frames are
+/// staged for the fabric partition; ACKs turn around locally (both
+/// endpoints of every group connection live in this partition).
+struct GroupRouter {
+    out: Outbox<NetMsg>,
+    conns: RefCell<HashMap<ConnId, ConnRoute>>,
+}
+
+impl FrameRouter for GroupRouter {
+    fn frame_ingress(self: Rc<Self>, _sim: &mut Sim, _src: usize, _frame: Frame) {
+        unreachable!("group ports hand frames off to the fabric partition");
+    }
+
+    fn ack_ingress(
+        self: Rc<Self>,
+        sim: &mut Sim,
+        src: usize,
+        conn: ConnId,
+        seq: u64,
+        window: u64,
+        dup: u32,
+    ) {
+        let (stack, delay) = {
+            let conns = self.conns.borrow();
+            let route = conns.get(&conn).expect("ACK for an unrouted connection");
+            let dst = if src == route.att_a {
+                &route.stack_b
+            } else {
+                &route.stack_a
+            };
+            (Rc::clone(dst), route.ack_delay)
+        };
+        sim.schedule(delay, move |sim| {
+            stack::ack_received(&stack, sim, conn, seq, window, dup);
+        });
+    }
+
+    fn egress_mode(&self) -> EgressMode {
+        EgressMode::Handoff
+    }
+
+    fn frame_departed(self: Rc<Self>, _sim: &mut Sim, src: usize, frame: Frame, arrive: SimTime) {
+        self.out.send(0, arrive, NetMsg::Ingress { src, frame });
+    }
+}
+
+/// Partition 0: the switch fabric alone on its own event queue.
+struct FabricPart {
+    sim: Sim,
+    fabric: FabricRef,
+}
+
+fn build_fabric_part(cfg: &ScaleConfig, lay: Layout, out: Outbox<NetMsg>) -> FabricPart {
+    let mut sim = Sim::new();
+    // Same runaway guard policy as `Cluster::new`.
+    let limit = match ioat_guard::event_budget() {
+        Some(budget) => budget.min(2_000_000_000),
+        None => 2_000_000_000,
+    };
+    sim.set_event_limit(limit);
+    let fabric = Fabric::new(cfg.spec, cfg.fabric);
+    // Register every connection for routing; the endpoint stacks live in
+    // the group partitions.
+    for p in 0..lay.n_proxies {
+        for j in 0..lay.f {
+            let w = (p * lay.f + j) % lay.n_webs;
+            fabric.open_remote(p, lay.n_proxies + w, ConnId(1 + (p * lay.f + j) as u64));
+        }
+    }
+    // Final hops leave this partition: stage the delivery for the host's
+    // group at the frame's arrival instant.
+    fabric.set_remote_delivery(move |_sim, host, frame, arrive| {
+        out.send(
+            lay.partition_of_host(host),
+            arrive,
+            NetMsg::Deliver { host, frame },
+        );
+    });
+    FabricPart { sim, fabric }
+}
+
+/// What the fabric partition reports back after the run.
+struct FabricOut {
+    tail_drops: u64,
+}
+
+/// Partitions `1..=G`: one server group and its clients.
+struct GroupPart {
+    cluster: Cluster,
+    shared: Rc<GroupShared>,
+    /// Topology host → (stack, port) for frames delivered off the fabric.
+    host_ports: HashMap<usize, (StackRef, usize)>,
+    proxies: Vec<NodeHandle>,
+    webs: Vec<NodeHandle>,
+    from: SimTime,
+    to: SimTime,
+}
+
+fn build_group_part(cfg: &ScaleConfig, lay: Layout, g: usize, out: Outbox<NetMsg>) -> GroupPart {
+    let topo = Topology::new(cfg.spec);
+    let mut cluster = Cluster::new(cfg.seed);
+    let router = Rc::new(GroupRouter {
+        out,
+        conns: RefCell::new(HashMap::new()),
+    });
+
+    // Proxies {g, g+G, …} and webs [g·f, (g+1)·f): the closed set of the
+    // subset rule `w = (p·f + j) mod n_webs`.
+    let mut host_ports = HashMap::new();
+    let proxies: Vec<(usize, NodeHandle, usize)> = (0..lay.f)
+        .map(|i| {
+            let p = g + i * lay.groups;
+            let h = cluster.add_node(NodeConfig::testbed(&format!("p{p}"), cfg.ioat));
+            let port = cluster.attach_router_host(
+                h,
+                Rc::clone(&router) as Rc<dyn FrameRouter>,
+                p,
+                &cfg.fabric,
+            );
+            host_ports.insert(p, (Rc::clone(cluster.stack(h)), port));
+            (p, h, port)
+        })
+        .collect();
+    let webs: Vec<(usize, NodeHandle, usize)> = (0..lay.f)
+        .map(|j| {
+            let w = g * lay.f + j;
+            let h = cluster.add_node(NodeConfig::testbed(&format!("w{w}"), cfg.ioat));
+            let port = cluster.attach_router_host(
+                h,
+                Rc::clone(&router) as Rc<dyn FrameRouter>,
+                lay.n_proxies + w,
+                &cfg.fabric,
+            );
+            host_ports.insert(lay.n_proxies + w, (Rc::clone(cluster.stack(h)), port));
+            (w, h, port)
+        })
+        .collect();
+
+    // This group's slice of the client slab, with per-group Zipf draws.
+    // The catalog (document → size) is rebuilt identically in every
+    // group from the same seed; only the draw stream is per-group.
+    let mut crng = SimRng::seed_from(cfg.seed);
+    let catalog = FileCatalog::web_content(cfg.catalog_files, 8 * 1024, &mut crng);
+    let trace = ZipfTrace::new(
+        catalog,
+        cfg.alpha,
+        SimRng::stream(cfg.seed, 0x5EED + g as u64),
+    );
+    let slots: Vec<u32> = (0..cfg.clients as u32)
+        .filter(|&s| (s as usize % lay.n_proxies) % lay.groups == g)
+        .collect();
+    let client_q: Vec<u32> = slots
+        .iter()
+        .map(|&s| ((s as usize % lay.n_proxies - g) / lay.groups) as u32)
+        .collect();
+    let mut completed = Counter::new();
+    completed.begin_window(cfg.window.from());
+    let shared = Rc::new(GroupShared {
+        f: lay.f,
+        costs: cfg.costs,
+        think: cfg.think,
+        client_latency: cfg.client_latency,
+        trace: RefCell::new(trace),
+        client_q,
+        started: RefCell::new(vec![SimTime::ZERO; slots.len()]),
+        req: RefCell::new((0..lay.f * lay.f).map(|_| None).collect()),
+        completed: RefCell::new(completed),
+        latency_hist: RefCell::new(Histogram::new()),
+        latency_sum: RefCell::new(Summary::new()),
+    });
+
+    // Connections with the globally deterministic ids the fabric
+    // partition registered: id = 1 + p·f + j.
+    let opts = ScaleConfig::opts();
+    for (q, &(p, ph, p_port)) in proxies.iter().enumerate() {
+        for (j, &(_, wh, w_port)) in webs.iter().enumerate() {
+            let w = g * lay.f + j;
+            let id = ConnId(1 + (p * lay.f + j) as u64);
+            let (p_sock, w_sock) = cluster.open_with_id(ph, p_port, wh, w_port, opts, id);
+            router.conns.borrow_mut().insert(
+                id,
+                ConnRoute {
+                    att_a: p,
+                    stack_a: Rc::clone(cluster.stack(ph)),
+                    stack_b: Rc::clone(cluster.stack(wh)),
+                    ack_delay: cfg.fabric.switch_latency
+                        * topo.path_links(p, lay.n_proxies + w) as u64,
+                },
+            );
+
+            // Response and request paths, exactly as in the sequential
+            // build but over group-local slots.
+            let sh = Rc::clone(&shared);
+            let p_sock2 = p_sock.clone();
+            let respond = msg::channel(w_sock.clone(), p_sock.clone(), move |sim, slot: u32| {
+                let sh2 = Rc::clone(&sh);
+                p_sock2.compute(sim, sh.costs.proxy_relay, move |sim| {
+                    let sh3 = Rc::clone(&sh2);
+                    sim.schedule(sh2.client_latency, move |sim| {
+                        let now = sim.now();
+                        let lat = now - sh3.started.borrow()[slot as usize];
+                        let us = lat.as_nanos() / 1_000;
+                        sh3.completed.borrow_mut().add_at(now, 1);
+                        sh3.latency_hist.borrow_mut().record(us.max(1));
+                        sh3.latency_sum.borrow_mut().add(us as f64);
+                        let sh4 = Rc::clone(&sh3);
+                        sim.schedule(sh3.think, move |sim| fire(&sh4, sim, slot));
+                    });
+                });
+            });
+            let respond = Rc::new(respond);
+
+            let costs = cfg.costs;
+            let w_sock2 = w_sock.clone();
+            let request = msg::channel(
+                p_sock.clone(),
+                w_sock,
+                move |sim, (slot, size): (u32, u64)| {
+                    let rsp = Rc::clone(&respond);
+                    w_sock2.compute(sim, costs.web_serve(size), move |sim| {
+                        rsp.send(sim, size, slot);
+                    });
+                },
+            );
+            shared.req.borrow_mut()[q * lay.f + j] = Some((p_sock, request));
+        }
+    }
+
+    // Client starts keep their *global* stagger offsets so the aggregate
+    // arrival pattern matches the layout, not the partition count.
+    let warmup_ns = cfg.window.warmup.as_nanos().max(1);
+    for (local, &s) in slots.iter().enumerate() {
+        let at = SimDuration::from_nanos(warmup_ns * u64::from(s) / cfg.clients as u64);
+        let sh = Rc::clone(&shared);
+        let local = local as u32;
+        cluster
+            .sim_mut()
+            .schedule(at, move |sim| fire(&sh, sim, local));
+    }
+
+    // The engine runs straight to the horizon; meters open mid-run via a
+    // scheduled reset instead of `ExperimentWindow::execute`'s pause.
+    let from = cfg.window.from();
+    for &(_, h, _) in proxies.iter().chain(webs.iter()) {
+        let stack = Rc::clone(cluster.stack(h));
+        cluster.sim_mut().schedule_at(from, move |_sim| {
+            stack.borrow_mut().begin_measurement(from);
+        });
+    }
+
+    GroupPart {
+        cluster,
+        shared,
+        host_ports,
+        proxies: proxies.iter().map(|&(_, h, _)| h).collect(),
+        webs: webs.iter().map(|&(_, h, _)| h).collect(),
+        from,
+        to: cfg.window.to(),
+    }
+}
+
+/// What a group partition reports back: its statistics slice and its
+/// terms of the cluster-wide conservation identity.
+struct GroupOut {
+    completed: u64,
+    hist: Histogram,
+    lat: Summary,
+    proxy_cpu_sum: f64,
+    web_cpu_sum: f64,
+    totals: ClusterFrameTotals,
+}
+
+/// One partition of the datacenter run.
+enum DcPartition {
+    Fabric(FabricPart),
+    // Boxed: a group (cluster + shared client state) is ~3× the fabric
+    // variant, and partitions are moved into per-worker vectors.
+    Group(Box<GroupPart>),
+}
+
+enum DcOut {
+    Fabric(FabricOut),
+    Group(GroupOut),
+}
+
+impl Partition for DcPartition {
+    type Msg = NetMsg;
+    type Out = DcOut;
+
+    fn next_event_at(&mut self) -> Option<SimTime> {
+        match self {
+            DcPartition::Fabric(p) => p.sim.next_event_at(),
+            DcPartition::Group(p) => p.cluster.sim_mut().next_event_at(),
+        }
+    }
+
+    fn run_before(&mut self, limit: SimTime) {
+        match self {
+            DcPartition::Fabric(p) => {
+                p.sim.run_before(limit);
+            }
+            DcPartition::Group(p) => {
+                p.cluster.sim_mut().run_before(limit);
+            }
+        }
+    }
+
+    fn run_final(&mut self, horizon: SimTime) {
+        match self {
+            DcPartition::Fabric(p) => {
+                p.sim.run_until(horizon);
+            }
+            DcPartition::Group(p) => {
+                p.cluster.run_until(horizon);
+            }
+        }
+    }
+
+    fn inject(&mut self, fire_at: SimTime, msg: NetMsg) {
+        match (self, msg) {
+            (DcPartition::Fabric(p), NetMsg::Ingress { src, frame }) => {
+                let fabric = Rc::clone(&p.fabric);
+                p.sim.schedule_at(fire_at, move |sim| {
+                    fabric.frame_ingress(sim, src, frame);
+                });
+            }
+            (DcPartition::Group(p), NetMsg::Deliver { host, frame }) => {
+                let (stack, port) = p
+                    .host_ports
+                    .get(&host)
+                    .expect("frame delivered to a host outside this partition")
+                    .clone();
+                p.cluster.sim_mut().schedule_at(fire_at, move |sim| {
+                    stack::frame_arrived(&stack, sim, port, frame);
+                });
+            }
+            (DcPartition::Fabric(_), NetMsg::Deliver { .. }) => {
+                unreachable!("Deliver targets a group partition");
+            }
+            (DcPartition::Group(_), NetMsg::Ingress { .. }) => {
+                unreachable!("Ingress targets the fabric partition");
+            }
+        }
+    }
+
+    fn events_executed(&self) -> u64 {
+        match self {
+            DcPartition::Fabric(p) => p.sim.events_executed(),
+            DcPartition::Group(p) => p.cluster.sim().events_executed(),
+        }
+    }
+
+    fn finish(self) -> DcOut {
+        match self {
+            DcPartition::Fabric(p) => {
+                if ioat_guard::enabled() {
+                    ioat_guard::audit_sim(&p.sim);
+                    let quiescent = p.sim.events_pending() == 0;
+                    p.fabric.audit(p.sim.now(), quiescent);
+                }
+                DcOut::Fabric(FabricOut {
+                    tail_drops: p.fabric.tail_drops(),
+                })
+            }
+            DcPartition::Group(p) => {
+                if ioat_guard::enabled() {
+                    p.cluster.run_local_audits();
+                }
+                let tier_sum = |handles: &[NodeHandle]| {
+                    handles
+                        .iter()
+                        .map(|&h| p.cluster.stack(h).borrow().cpu_utilization(p.from, p.to))
+                        .sum::<f64>()
+                };
+                DcOut::Group(GroupOut {
+                    completed: p.shared.completed.borrow().window_total(),
+                    hist: p.shared.latency_hist.borrow().clone(),
+                    lat: p.shared.latency_sum.borrow().clone(),
+                    proxy_cpu_sum: tier_sum(&p.proxies),
+                    web_cpu_sum: tier_sum(&p.webs),
+                    totals: p.cluster.frame_totals(),
+                })
+            }
+        }
+    }
+}
+
+/// Runs the fabric-scale scenario partitioned onto `threads` worker
+/// threads, returning the merged result plus the engine's
+/// per-partition/per-window report.
+///
+/// Results are bit-identical for any `threads ≥ 1` (see the module docs
+/// for why they differ from the sequential [`crate::scale::run`]).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or if the configuration cannot be tiled
+/// into groups (`webs_per_proxy` must divide the web-tier size).
+pub fn run_partitioned(cfg: &ScaleConfig, threads: usize) -> (ScaleResult, ParsimReport) {
+    let lay = Layout::of(cfg);
+    let cfg = *cfg;
+    let horizon = cfg.window.to();
+    let lookahead = cfg.fabric.switch_latency;
+
+    let builders: Vec<_> = (0..=lay.groups)
+        .map(|_| {
+            move |idx: usize, out: Outbox<NetMsg>| -> DcPartition {
+                if idx == 0 {
+                    DcPartition::Fabric(build_fabric_part(&cfg, lay, out))
+                } else {
+                    DcPartition::Group(Box::new(build_group_part(&cfg, lay, idx - 1, out)))
+                }
+            }
+        })
+        .collect();
+    let (outs, report) = ioat_parsim::run(builders, lookahead, horizon, threads);
+
+    // Deterministic merge in partition order.
+    let mut tail_drops = 0u64;
+    let mut completed = 0u64;
+    let mut hist = Histogram::new();
+    let mut lat = Summary::new();
+    let mut proxy_cpu_sum = 0.0;
+    let mut web_cpu_sum = 0.0;
+    let mut totals = ClusterFrameTotals::default();
+    for out in outs {
+        match out {
+            DcOut::Fabric(f) => tail_drops = f.tail_drops,
+            DcOut::Group(g) => {
+                completed += g.completed;
+                hist.merge(&g.hist);
+                lat.merge(&g.lat);
+                proxy_cpu_sum += g.proxy_cpu_sum;
+                web_cpu_sum += g.web_cpu_sum;
+                totals.merge(&g.totals);
+            }
+        }
+    }
+    // The cluster-wide conservation identity only holds on totals summed
+    // across every partition; the frames the fabric dropped are its
+    // `switch_dropped` term. The window closes mid-flight, so the
+    // in-flight (non-quiescent) form applies.
+    if ioat_guard::enabled() {
+        stack::audit_cluster_conservation_sums(totals, tail_drops, horizon, false);
+    }
+
+    let elapsed = (cfg.window.to() - cfg.window.from()).as_secs_f64();
+    let result = ScaleResult {
+        tps: completed as f64 / elapsed,
+        completed,
+        latency_mean_us: lat.mean(),
+        latency_p50_us: hist.quantile(0.50),
+        latency_p99_us: hist.quantile(0.99),
+        latency_max_us: lat.max().unwrap_or(0.0),
+        proxy_cpu: proxy_cpu_sum / lay.n_proxies as f64,
+        web_cpu: web_cpu_sum / lay.n_webs as f64,
+        tail_drops,
+        sim_events: report.total_events(),
+    };
+    (result, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioat_netsim::IoatConfig;
+
+    #[test]
+    fn partitioned_results_are_bit_identical_across_worker_counts() {
+        let cfg = ScaleConfig::quick_test(IoatConfig::disabled());
+        let (r1, rep1) = run_partitioned(&cfg, 1);
+        let (r2, rep2) = run_partitioned(&cfg, 2);
+        let (r8, rep8) = run_partitioned(&cfg, 8);
+        assert_eq!(r1, r2, "1 vs 2 workers");
+        assert_eq!(r1, r8, "1 vs 8 workers");
+        assert!(r1.completed > 0, "clients completed transactions");
+        for rep in [&rep2, &rep8] {
+            assert_eq!(rep1.rounds, rep.rounds);
+            assert_eq!(rep1.events, rep.events);
+            assert_eq!(rep1.emitted, rep.emitted);
+            assert_eq!(rep1.injected, rep.injected);
+        }
+        assert!(
+            rep1.emitted.iter().sum::<u64>() > 0,
+            "data frames crossed the fabric boundary"
+        );
+    }
+
+    #[test]
+    fn partitioned_run_is_audit_clean() {
+        let cfg = ScaleConfig::quick_test(IoatConfig::full());
+        let (result, violations) = ioat_guard::with_audit(|| run_partitioned(&cfg, 2));
+        let (r, rep) = result.expect("run completes");
+        assert!(
+            violations.is_empty(),
+            "audits must be clean: {violations:?}"
+        );
+        assert!(r.tps > 0.0);
+        assert!(r.latency_p99_us >= r.latency_p50_us);
+        assert!(r.proxy_cpu > 0.0 && r.proxy_cpu <= 1.0);
+        assert!(r.web_cpu > 0.0 && r.web_cpu <= 1.0);
+        assert_eq!(rep.partitions, 1 + 2, "fat-tree(4): fabric + 2 groups");
+    }
+
+    #[test]
+    fn partitioned_reruns_reproduce_exactly() {
+        let cfg = ScaleConfig::quick_test(IoatConfig::full());
+        let a = run_partitioned(&cfg, 3);
+        let b = run_partitioned(&cfg, 3);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn ioat_still_reduces_cpu_per_transaction_when_partitioned() {
+        let mut cfg = ScaleConfig::quick_test(IoatConfig::disabled());
+        cfg.clients = 96;
+        let (non, _) = run_partitioned(&cfg, 2);
+        cfg.ioat = IoatConfig::full();
+        let (ioat, _) = run_partitioned(&cfg, 2);
+        let non_per = (non.proxy_cpu + non.web_cpu) / non.tps;
+        let ioat_per = (ioat.proxy_cpu + ioat.web_cpu) / ioat.tps;
+        assert!(
+            ioat_per < non_per,
+            "I/OAT {ioat_per:.3e} vs non {non_per:.3e} CPU/txn"
+        );
+    }
+}

@@ -105,7 +105,7 @@ impl ScaleConfig {
     /// Socket options used on the server tier: all offloads on, but
     /// moderate 64 K buffers so a million multiplexed clients cannot pile
     /// unbounded bytes into any single connection window.
-    fn opts() -> SocketOpts {
+    pub(crate) fn opts() -> SocketOpts {
         SocketOpts {
             sndbuf: 64 * 1024,
             rcvbuf: 64 * 1024,

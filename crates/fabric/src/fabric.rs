@@ -124,6 +124,12 @@ struct Attachment {
     port: usize,
 }
 
+/// Hook receiving `(sim, host, frame, arrive)` for frames whose final hop
+/// targets a host that is not attached locally — the host's stack lives
+/// in another partition of a parallel run, and the hook stages the frame
+/// for cross-partition delivery at `arrive`.
+type RemoteDelivery = Box<dyn Fn(&mut Sim, usize, Frame, SimTime)>;
+
 /// A compiled, running switch fabric. Create with [`Fabric::new`], attach
 /// host stacks with [`Fabric::attach`], open connections between
 /// attachments with [`Fabric::open`].
@@ -134,6 +140,7 @@ pub struct Fabric {
     hosts: RefCell<Vec<Option<Attachment>>>,
     conns: RefCell<FastHashMap<ConnId, (usize, usize)>>,
     stats: RefCell<GlobalStats>,
+    remote: RefCell<Option<RemoteDelivery>>,
 }
 
 impl Fabric {
@@ -187,6 +194,7 @@ impl Fabric {
             switches: RefCell::new(switches),
             conns: RefCell::new(FastHashMap::default()),
             stats: RefCell::new(GlobalStats::default()),
+            remote: RefCell::new(None),
         })
     }
 
@@ -248,6 +256,36 @@ impl Fabric {
         let prev = self.conns.borrow_mut().insert(id, (att_a, att_b));
         assert!(prev.is_none(), "connection {id} already routed");
         stack::open_connection(&a, &b, pa, pb, opts, id)
+    }
+
+    /// Registers a connection between hosts whose stacks live in *other*
+    /// partitions of a parallel run: only the routing entry is created
+    /// here — the endpoint stacks are opened against each other inside
+    /// their own partition, and their frames enter this fabric through
+    /// [`FrameRouter::frame_ingress`] via cross-partition injection.
+    pub fn open_remote(&self, att_a: usize, att_b: usize, id: ConnId) {
+        assert_ne!(att_a, att_b, "connection endpoints must differ");
+        let prev = self.conns.borrow_mut().insert(id, (att_a, att_b));
+        assert!(prev.is_none(), "connection {id} already routed");
+    }
+
+    /// Installs the cross-partition delivery hook: a frame whose final
+    /// hop targets an *unattached* host is handed to `hook` as
+    /// `(sim, host, frame, arrive)` at the forwarding decision instead of
+    /// panicking. The switch's shared-buffer claim is still released at
+    /// `arrive`, so back-pressure accounting is identical to local
+    /// delivery.
+    pub fn set_remote_delivery(&self, hook: impl Fn(&mut Sim, usize, Frame, SimTime) + 'static) {
+        let prev = self.remote.borrow_mut().replace(Box::new(hook));
+        assert!(prev.is_none(), "remote delivery hook installed twice");
+    }
+
+    /// The minimum cross-partition latency this fabric guarantees: every
+    /// frame entering or leaving it crosses at least one link of
+    /// `switch_latency`, and ACKs travel at least one full path link.
+    /// This is the conservative-window lookahead a parallel run may use.
+    pub fn lookahead(&self) -> SimDuration {
+        self.params.switch_latency
     }
 
     /// Global count of frames tail-dropped at switch buffers — the
@@ -416,6 +454,25 @@ impl Fabric {
             (out.link.clone(), out.dest)
         };
         self.stats.borrow_mut().forwarded += 1;
+        // A final hop to a host living in another partition: identical
+        // serializer and shared-buffer accounting, but the delivery event
+        // belongs to the host's partition — stage it through the remote
+        // hook and release the buffer claim here at the arrival instant.
+        if let Hop::Host(h) = dest {
+            if self.hosts.borrow()[h].is_none() {
+                let remote = self.remote.borrow();
+                let hook = remote
+                    .as_ref()
+                    .expect("frame for an unattached host with no remote delivery hook");
+                let arrive = link.transmit_dropped(sim, wire);
+                let f2 = Rc::clone(self);
+                sim.schedule_at(arrive, move |_sim| {
+                    f2.switches.borrow_mut()[sw].occupancy -= wire;
+                });
+                hook(sim, h, frame, arrive);
+                return;
+            }
+        }
         let f2 = Rc::clone(self);
         link.transmit(sim, wire, move |sim| {
             f2.switches.borrow_mut()[sw].occupancy -= wire;

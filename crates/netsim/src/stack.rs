@@ -86,6 +86,38 @@ pub trait FrameRouter {
         window: u64,
         dup: u32,
     );
+    /// How frames leave a port attached to this router; see [`EgressMode`].
+    /// The default keeps every existing router on the in-queue path.
+    fn egress_mode(&self) -> EgressMode {
+        EgressMode::Deliver
+    }
+    /// A frame from attachment `src` finished serializing at
+    /// `arrive - access latency` and would enter the fabric at `arrive`.
+    /// Called synchronously (no event is scheduled) — only when
+    /// [`FrameRouter::egress_mode`] returns [`EgressMode::Handoff`]; the
+    /// implementation stages the frame for its owning partition.
+    fn frame_departed(
+        self: Rc<Self>,
+        _sim: &mut Sim,
+        _src: usize,
+        _frame: Frame,
+        _arrive: SimTime,
+    ) {
+        unreachable!("frame_departed requires EgressMode::Handoff");
+    }
+}
+
+/// How a router-attached port moves departing frames into the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EgressMode {
+    /// The fabric shares this simulation: schedule
+    /// [`FrameRouter::frame_ingress`] at the frame's arrival instant.
+    Deliver,
+    /// The fabric lives in another partition of a parallel run: serialize
+    /// on the access link (identical busy accounting, no delivery event)
+    /// and hand the frame to [`FrameRouter::frame_departed`] for
+    /// cross-partition staging at the window barrier.
+    Handoff,
 }
 
 type Handler = Rc<RefCell<dyn FnMut(&mut Sim, SocketEvent)>>;
@@ -878,6 +910,7 @@ fn pump_frames(s: &StackRef, sim: &mut Sim, conn: ConnId) {
     enum Egress {
         Peer(StackRef, usize),
         Routed(Rc<dyn FrameRouter>, usize),
+        Handoff(Rc<dyn FrameRouter>, usize),
     }
     let (train, link, egress) = {
         let mut st = s.borrow_mut();
@@ -921,7 +954,10 @@ fn pump_frames(s: &StackRef, sim: &mut Sim, conn: ConnId) {
         }
         let port = &st.ports[port_idx];
         let egress = if let Some((router, attachment)) = &port.router {
-            Egress::Routed(Rc::clone(router), *attachment)
+            match router.egress_mode() {
+                EgressMode::Deliver => Egress::Routed(Rc::clone(router), *attachment),
+                EgressMode::Handoff => Egress::Handoff(Rc::clone(router), *attachment),
+            }
         } else {
             Egress::Peer(
                 Rc::clone(port.peer.as_ref().expect("port not wired")),
@@ -949,6 +985,13 @@ fn pump_frames(s: &StackRef, sim: &mut Sim, conn: ConnId) {
                 link.transmit(sim, frame.wire_bytes(), move |sim| {
                     r2.frame_ingress(sim, att, frame);
                 });
+            }
+            Egress::Handoff(router, attachment) => {
+                // Identical serializer accounting to `transmit`, but the
+                // arrival happens in another partition: no local event,
+                // the router stages the frame at the window barrier.
+                let arrive = link.transmit_dropped(sim, frame.wire_bytes());
+                Rc::clone(router).frame_departed(sim, *attachment, frame, arrive);
             }
         }
     }
@@ -1512,22 +1555,73 @@ pub fn audit_cluster_conservation_ext(
     now: SimTime,
     quiescent: bool,
 ) {
-    let mut sent = 0u64;
-    let mut arrived = 0u64;
-    let mut lost = 0u64;
-    let mut ring_dropped = 0u64;
-    let mut tx_bytes = 0u64;
-    let mut rx_bytes = 0u64;
+    audit_cluster_conservation_sums(frame_totals(stacks), switch_dropped, now, quiescent);
+}
+
+/// Frame/byte counters summed over a set of stacks — the terms of the
+/// cluster conservation identity, detached from the stacks themselves so
+/// a parallel run can collect them per partition (plain `Send` data) and
+/// audit the *summed* identity on the merge thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterFrameTotals {
+    /// Frames senders injected onto wires.
+    pub sent: u64,
+    /// Frames that reached a receiver's pending ring.
+    pub arrived: u64,
+    /// Frames the loss model dropped.
+    pub lost: u64,
+    /// Frames dropped at full receive rings.
+    pub ring_dropped: u64,
+    /// Bytes injected by transmitters.
+    pub tx_bytes: u64,
+    /// Bytes delivered to receivers.
+    pub rx_bytes: u64,
+}
+
+impl ClusterFrameTotals {
+    /// Accumulates another partition's totals.
+    pub fn merge(&mut self, other: &ClusterFrameTotals) {
+        self.sent += other.sent;
+        self.arrived += other.arrived;
+        self.lost += other.lost;
+        self.ring_dropped += other.ring_dropped;
+        self.tx_bytes += other.tx_bytes;
+        self.rx_bytes += other.rx_bytes;
+    }
+}
+
+/// Sums the conservation-identity terms over `stacks`.
+pub fn frame_totals(stacks: &[StackRef]) -> ClusterFrameTotals {
+    let mut t = ClusterFrameTotals::default();
     for s in stacks {
         let st = s.borrow();
         let stats = st.stats();
-        sent += stats.frames_sent;
-        arrived += stats.frames_arrived;
-        lost += stats.frames_dropped;
-        ring_dropped += stats.rx_ring_drops;
-        tx_bytes += st.tx_meter().total_bytes();
-        rx_bytes += st.rx_meter().total_bytes();
+        t.sent += stats.frames_sent;
+        t.arrived += stats.frames_arrived;
+        t.lost += stats.frames_dropped;
+        t.ring_dropped += stats.rx_ring_drops;
+        t.tx_bytes += st.tx_meter().total_bytes();
+        t.rx_bytes += st.rx_meter().total_bytes();
     }
+    t
+}
+
+/// The conservation identity of [`audit_cluster_conservation_ext`] on
+/// pre-summed totals.
+pub fn audit_cluster_conservation_sums(
+    totals: ClusterFrameTotals,
+    switch_dropped: u64,
+    now: SimTime,
+    quiescent: bool,
+) {
+    let ClusterFrameTotals {
+        sent,
+        arrived,
+        lost,
+        ring_dropped,
+        tx_bytes,
+        rx_bytes,
+    } = totals;
     let accounted = arrived + lost + ring_dropped + switch_dropped;
     let ok = if quiescent {
         sent == accounted

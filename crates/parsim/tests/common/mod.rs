@@ -1,0 +1,126 @@
+//! A small token-ring model shared by the parsim integration tests.
+//!
+//! `n` partitions each own a [`Sim`]. Partition 0 seeds a token; every
+//! delivery logs `(time, value)`, schedules a couple of local follow-up
+//! events inside the window, and forwards the incremented token to the
+//! next partition exactly one lookahead later — the tightest legal
+//! cross-partition emission, so the tests exercise the window edge.
+
+use ioat_parsim::{Outbox, Partition};
+use ioat_simcore::{Sim, SimDuration, SimRng, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One lookahead hop: the ring's cross-partition delay.
+pub const HOP: SimDuration = SimDuration::from_micros(5);
+
+pub struct NodeState {
+    pub idx: usize,
+    pub n: usize,
+    pub out: Outbox<u64>,
+    pub rng: SimRng,
+    pub log: Vec<(u64, u64)>,
+    /// Panic when handling a token with this value (test hook).
+    pub panic_on: Option<u64>,
+    /// Emit one lookahead-violating message per token (test hook).
+    pub violate_lookahead: bool,
+}
+
+pub struct RingNode {
+    pub sim: Sim,
+    pub state: Rc<RefCell<NodeState>>,
+}
+
+fn handle_token(sim: &mut Sim, state: &Rc<RefCell<NodeState>>, value: u64) {
+    let now = sim.now();
+    let (dst, fire, local_delay) = {
+        let mut st = state.borrow_mut();
+        if st.panic_on == Some(value) {
+            panic!("ring model asked to panic on token {value}");
+        }
+        st.log.push((now.as_nanos(), value));
+        let dst = (st.idx + 1) % st.n;
+        let fire = if st.violate_lookahead {
+            now + SimDuration::from_nanos(HOP.as_nanos() / 2)
+        } else {
+            now + HOP
+        };
+        let local_delay = SimDuration::from_nanos(st.rng.range(1, HOP.as_nanos() / 2));
+        (dst, fire, local_delay)
+    };
+    state.borrow().out.send(dst, fire, value + 1);
+    // Local follow-up work inside the window; one cancelled event keeps
+    // the slab queue's stale-entry path exercised too.
+    let st = Rc::clone(state);
+    sim.schedule(local_delay, move |sim| {
+        let now = sim.now();
+        st.borrow_mut().log.push((now.as_nanos(), u64::MAX));
+    });
+    let st2 = Rc::clone(state);
+    let id = sim.schedule(HOP, move |_sim| {
+        st2.borrow_mut().log.push((0, 0));
+    });
+    sim.cancel(id);
+}
+
+/// Builds the ring node for partition `idx`; plug directly into
+/// [`ioat_parsim::run`] as the builder closure body.
+pub fn build_node(idx: usize, n: usize, seed: u64, out: Outbox<u64>) -> RingNode {
+    let mut sim = Sim::new();
+    let state = Rc::new(RefCell::new(NodeState {
+        idx,
+        n,
+        out,
+        rng: SimRng::stream(seed, idx as u64),
+        log: Vec::new(),
+        panic_on: None,
+        violate_lookahead: false,
+    }));
+    if idx == 0 {
+        let st = Rc::clone(&state);
+        sim.schedule_at(SimTime::ZERO + HOP, move |sim| {
+            handle_token(sim, &st, 0);
+        });
+    }
+    RingNode { sim, state }
+}
+
+impl Partition for RingNode {
+    type Msg = u64;
+    type Out = Vec<(u64, u64)>;
+
+    fn next_event_at(&mut self) -> Option<SimTime> {
+        self.sim.next_event_at()
+    }
+
+    fn run_before(&mut self, limit: SimTime) {
+        self.sim.run_before(limit);
+    }
+
+    fn run_final(&mut self, horizon: SimTime) {
+        self.sim.run_until(horizon);
+    }
+
+    fn inject(&mut self, fire_at: SimTime, msg: u64) {
+        let st = Rc::clone(&self.state);
+        self.sim.schedule_at(fire_at, move |sim| {
+            handle_token(sim, &st, msg);
+        });
+    }
+
+    fn events_executed(&self) -> u64 {
+        self.sim.events_executed()
+    }
+
+    fn finish(self) -> Vec<(u64, u64)> {
+        let RingNode { sim, state } = self;
+        // Pending actions beyond the horizon still hold `Rc` clones of
+        // the state; dropping the queue releases them.
+        drop(sim);
+        Rc::try_unwrap(state)
+            .ok()
+            .expect("queue dropped; no outstanding closures")
+            .into_inner()
+            .log
+    }
+}

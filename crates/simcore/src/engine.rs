@@ -565,6 +565,59 @@ impl Sim {
         self.now
     }
 
+    /// Runs every event strictly before `limit` — events at exactly
+    /// `limit` stay queued — then advances the clock to `limit`.
+    ///
+    /// This is the window-execution primitive for conservative parallel
+    /// simulation: a partition granted the window `[now, limit)` may
+    /// execute everything before the window edge, while events *at* the
+    /// edge must wait for cross-partition deliveries that can legally
+    /// fire at that same instant (the lookahead bound guarantees nothing
+    /// earlier can arrive). Contrast [`Sim::run_until`], whose window is
+    /// inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured event limit is exceeded (see
+    /// [`Sim::set_event_limit`]).
+    pub fn run_before(&mut self, limit: SimTime) -> SimTime {
+        while let Some(next_at) = self.peek_next_at() {
+            if next_at >= limit {
+                break;
+            }
+            // Deferred entries re-key at their fire time rather than
+            // executing — identical to `run_until`.
+            if self.rekey_top() {
+                continue;
+            }
+            let (at, seq, action) = self.pop_next().expect("peek_next_at saw a live event");
+            debug_assert!(at >= self.now, "event time went backwards");
+            self.now = at;
+            self.count_executed();
+            if let Some(hook) = self.hook.clone() {
+                (hook.borrow_mut())(at, seq);
+            }
+            action(self);
+        }
+        self.now = self.now.max(limit);
+        self.now
+    }
+
+    /// The instant of the next pending event, or `None` if the queue is
+    /// drained.
+    ///
+    /// For a deferred entry still at its key instant (see
+    /// [`Sim::schedule_deferred`]) this reports the *key* instant — a
+    /// conservative lower bound on when the event can fire. Conservative
+    /// window computations built on this value produce windows that are
+    /// never too large (only, occasionally, smaller than necessary).
+    ///
+    /// Takes `&mut self` because stale (cancelled) heap tops are drained
+    /// on the way; the model state is untouched.
+    pub fn next_event_at(&mut self) -> Option<SimTime> {
+        self.peek_next_at()
+    }
+
     /// Runs a single event if one is pending, returning `true` if an event
     /// executed. Useful for fine-grained test assertions.
     ///

@@ -195,6 +195,34 @@ impl Summary {
     pub fn max(&self) -> Option<f64> {
         (self.count > 0).then_some(self.max)
     }
+
+    /// Merges another summary into this one (Chan et al.'s parallel
+    /// Welford combine), as if every sample of `other` had been added
+    /// here.
+    ///
+    /// Note the merged `mean`/`m2` are *not* bit-identical to a single
+    /// sequential pass over the interleaved samples (float addition is
+    /// not associative) — but they are a deterministic function of the
+    /// two inputs, so merging partition summaries in a fixed order is
+    /// reproducible run-to-run and thread-count independent.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * (n2 / total);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / total);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 impl fmt::Display for Summary {
@@ -399,6 +427,36 @@ mod tests {
         assert_eq!(s.stddev(), 0.0);
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential_statistics() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut whole = Summary::new();
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for (i, &x) in samples.iter().enumerate() {
+            whole.add(x);
+            if i < 3 {
+                left.add(x);
+            } else {
+                right.add(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.stddev() - whole.stddev()).abs() < 1e-12);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+        // Merging an empty side is the identity in both directions.
+        let empty = Summary::new();
+        let before = format!("{left}");
+        left.merge(&empty);
+        assert_eq!(format!("{left}"), before);
+        let mut e = Summary::new();
+        e.merge(&left);
+        assert_eq!(format!("{e}"), before);
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! implementation of the *old* design (a `BinaryHeap` ordered by
 //! `(time, seq)` plus a cancelled-seq set) through identical seeded
 //! operation scripts — schedules with colliding instants, nested
-//! scheduling from inside events, interleaved cancels, windowed runs — and
-//! asserts identical execution order, cancel outcomes, clocks and pending
-//! counts at every step. All randomness comes from a fixed-seed xorshift
-//! generator: no host entropy, bit-reproducible across runs and machines.
+//! scheduling from inside events, interleaved cancels, windowed runs
+//! (both the inclusive [`Sim::run_until`] and the exclusive-edge
+//! [`Sim::run_before`] used by the conservative parallel engine) — and
+//! asserts identical execution order, cancel outcomes, clocks, pending
+//! counts, and [`Sim::next_event_at`] lower bounds at every step. All
+//! randomness comes from a fixed-seed xorshift generator: no host
+//! entropy, bit-reproducible across runs and machines.
 
 use ioat_simcore::{Sim, SimDuration, SimTime};
 use std::cell::RefCell;
@@ -114,13 +117,30 @@ impl RefEngine {
             .count()
     }
 
-    fn run_until(&mut self, limit: u64) {
+    /// The instant of the next live event, draining stale (cancelled)
+    /// heap tops on the way — the reference for [`Sim::next_event_at`].
+    fn next_event_at(&mut self) -> Option<u64> {
+        while let Some(&Reverse((at, seq, _))) = self.heap.peek() {
+            if self.cancelled.contains(&seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(at);
+        }
+        None
+    }
+
+    /// Fires events while `at <= limit` (`inclusive`) or `at < limit`
+    /// (the [`Sim::run_before`] window-execution contract: events at
+    /// exactly the window edge stay queued), then advances the clock to
+    /// the edge either way.
+    fn run_window(&mut self, limit: u64, inclusive: bool) {
         while let Some(&Reverse((at, seq, idx))) = self.heap.peek() {
             if self.cancelled.contains(&seq) {
                 self.heap.pop();
                 continue;
             }
-            if at > limit {
+            if at > limit || (!inclusive && at == limit) {
                 break;
             }
             self.heap.pop();
@@ -132,8 +152,16 @@ impl RefEngine {
                 self.schedule(delta, child_tag, None);
             }
         }
-        // Mirrors Sim::run_until advancing to the window edge.
+        // Mirrors both runners advancing to the window edge.
         self.now = self.now.max(limit);
+    }
+
+    fn run_until(&mut self, limit: u64) {
+        self.run_window(limit, true);
+    }
+
+    fn run_before(&mut self, limit: u64) {
+        self.run_window(limit, false);
     }
 }
 
@@ -174,7 +202,7 @@ fn run_script(seed: u64, ops: usize) {
     let mut next_tag = 0u64;
 
     for step in 0..ops {
-        match rng.below(10) {
+        match rng.below(12) {
             // 0..=5: schedule. Tiny delay range (0..16 ns) forces heavy
             // (time) collisions so the FIFO seq tie-break is exercised;
             // a quarter of events schedule a nested child on firing.
@@ -204,8 +232,8 @@ fn run_script(seed: u64, ops: usize) {
                     assert_eq!(got, want, "seed {seed} step {step}: cancel({i}) outcome");
                 }
             }
-            // 8..=9: run a short window.
-            _ => {
+            // 8..=9: run a short inclusive window.
+            8..=9 => {
                 let window = rng.below(24);
                 let limit = reference.now + window;
                 reference.run_until(limit);
@@ -216,7 +244,30 @@ fn run_script(seed: u64, ops: usize) {
                     "seed {seed} step {step}: clock"
                 );
             }
+            // 10..=11: run a short exclusive-edge window, the
+            // conservative parallel engine's execution primitive.
+            // Small windows over 0..16 ns delays make edge collisions
+            // (an event at exactly `limit`) common, which is the whole
+            // point: those events must stay queued.
+            _ => {
+                let window = rng.below(24);
+                let limit = reference.now + window;
+                reference.run_before(limit);
+                sim.run_before(SimTime::from_nanos(limit));
+                assert_eq!(
+                    sim.now(),
+                    SimTime::from_nanos(reference.now),
+                    "seed {seed} step {step}: clock after run_before"
+                );
+            }
         }
+        // The conservative window computation is built on this lower
+        // bound, so it must agree with the reference after every op.
+        assert_eq!(
+            sim.next_event_at().map(|t| t.as_nanos()),
+            reference.next_event_at(),
+            "seed {seed} step {step}: next_event_at"
+        );
         assert_eq!(
             sim.events_pending(),
             reference.pending(),
@@ -291,4 +342,60 @@ fn indexed_queue_matches_reference_under_cancel_storms() {
         assert_eq!(*log.borrow(), reference.log, "seed {seed}: survivor order");
         assert_eq!(sim.events_pending(), 0);
     }
+}
+
+#[test]
+fn run_before_leaves_window_edge_events_queued() {
+    // The exclusive-edge contract, pinned deterministically (no script):
+    // events at exactly the window edge must survive a `run_before` and
+    // then fire — in seq order — under the inclusive `run_until`. Both
+    // engines are checked against each other at every stage.
+    let mut reference = RefEngine::new();
+    let mut sim = Sim::new();
+    let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let handles: Rc<RefCell<Vec<ioat_simcore::EventId>>> = Rc::new(RefCell::new(Vec::new()));
+    for (delay, tag) in [(5u64, 0u64), (10, 1), (10, 2), (15, 3)] {
+        reference.schedule(delay, tag, None);
+        schedule_real(&mut sim, delay, tag, None, &log, &handles);
+    }
+
+    reference.run_before(10);
+    sim.run_before(SimTime::from_nanos(10));
+    assert_eq!(*log.borrow(), vec![0], "only the t=5 event fired");
+    assert_eq!(*log.borrow(), reference.log);
+    assert_eq!(sim.now(), SimTime::from_nanos(10), "clock is at the edge");
+    assert_eq!(
+        sim.next_event_at().map(|t| t.as_nanos()),
+        Some(10),
+        "edge events are still queued"
+    );
+    assert_eq!(reference.next_event_at(), Some(10));
+    assert_eq!(sim.events_pending(), reference.pending());
+    assert_eq!(sim.events_pending(), 3);
+
+    // A second run_before at the same edge is a no-op.
+    reference.run_before(10);
+    sim.run_before(SimTime::from_nanos(10));
+    assert_eq!(*log.borrow(), vec![0]);
+    assert_eq!(*log.borrow(), reference.log);
+
+    // The inclusive window executes both edge events, FIFO on the tie.
+    reference.run_until(10);
+    sim.run_until(SimTime::from_nanos(10));
+    assert_eq!(*log.borrow(), vec![0, 1, 2], "seq order on the t=10 tie");
+    assert_eq!(*log.borrow(), reference.log);
+    assert_eq!(sim.next_event_at().map(|t| t.as_nanos()), Some(15));
+
+    // Cancelling the last event makes next_event_at drain to None in
+    // both engines.
+    let id = handles.borrow()[3];
+    assert!(sim.cancel(id));
+    assert!(reference.cancel(3));
+    assert_eq!(sim.next_event_at(), None);
+    assert_eq!(reference.next_event_at(), None);
+    reference.run_before(20);
+    sim.run_before(SimTime::from_nanos(20));
+    assert_eq!(*log.borrow(), vec![0, 1, 2], "cancelled event never fires");
+    assert_eq!(*log.borrow(), reference.log);
+    assert_eq!(sim.now(), SimTime::from_nanos(20));
 }
