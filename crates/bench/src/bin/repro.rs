@@ -19,10 +19,12 @@
 //! and the deterministic merge keeps results bit-identical at any N
 //! (default 1). `--json <path>` additionally writes every figure's rows and
 //! wall-clock timings as a machine-readable report. `--trace <path>`
-//! runs the Fig. 7 configuration with the telemetry tracer on, prints
-//! the per-category CPU split-up and writes a Perfetto-loadable Chrome
-//! trace to `<path>` (and then exits unless figures were also
-//! requested). Unknown flags and unknown targets exit with status 2 and
+//! runs with the telemetry tracer on, prints the per-category CPU
+//! split-up and writes a Perfetto-loadable Chrome trace to `<path>`
+//! (and then exits unless figures were also requested); with a PVFS
+//! figure among the targets it traces the Fig. 10a configuration (the
+//! view that diagnosed the daemon cost model), otherwise Fig. 7.
+//! Unknown flags and unknown targets exit with status 2 and
 //! suggest the closest known name.
 //!
 //! Supervision (always on): every figure runs under the supervisor, so a
@@ -60,6 +62,20 @@ const TARGETS: &[(&str, &str)] = &[
     ("fig11a", "PVFS concurrent write, 6 I/O servers"),
     ("fig11b", "PVFS concurrent write, 5 I/O servers"),
     ("fig12", "PVFS multi-stream read, 1-64 emulated clients"),
+    (
+        "ext-pvfs-stripe",
+        "Ext: PVFS read vs striping factor, 2-12 servers",
+    ),
+    (
+        "ext-pvfs-clients",
+        "Ext: PVFS read vs client count, 2-16 clients",
+    ),
+    (
+        "ext-pvfs-stripesize",
+        "Ext: PVFS read vs stripe size, 16-256 KB",
+    ),
+    ("ext-pvfs-mixed", "Ext: PVFS mixed read/write streams"),
+    ("ext-pvfs-meta", "Ext: PVFS metadata-manager contention"),
     ("abl-mq", "Ablation A1: multi-queue receive interrupts"),
     (
         "abl-copy",
@@ -288,7 +304,16 @@ fn main() {
 
     if let Some(path) = &cli.trace_path {
         // Tracing is single-threaded by design; it never uses the pool.
-        figs::trace_fig7(window, std::path::Path::new(path));
+        // With a PVFS figure among the targets the tracer runs the
+        // Fig. 10a configuration (the per-component CPU split-up that
+        // diagnosed the daemon cost model); otherwise the Fig. 7
+        // split-up, as before.
+        let pvfs = ["fig10a", "fig10b", "fig11a", "fig11b", "fig12"];
+        if cli.targets.iter().any(|t| pvfs.contains(&t.as_str())) {
+            figs::trace_fig10a(window, std::path::Path::new(path));
+        } else {
+            figs::trace_fig7(window, std::path::Path::new(path));
+        }
         if cli.targets.is_empty() && cli.json_path.is_none() {
             return;
         }

@@ -23,7 +23,9 @@ use ioat_datacenter::emulated::{self, EmulatedConfig};
 use ioat_datacenter::run_partitioned;
 use ioat_datacenter::scale::ScaleConfig;
 use ioat_datacenter::tiers::{self, DataCenterConfig};
-use ioat_pvfs::harness::{concurrent_read, concurrent_write, multi_stream_read, PvfsConfig};
+use ioat_pvfs::harness::{
+    concurrent_read, concurrent_write, mixed_streams, multi_stream_read, PvfsConfig,
+};
 
 /// A generic labelled comparison row printed by every figure runner.
 #[derive(Debug, Clone, PartialEq)]
@@ -665,6 +667,167 @@ pub fn fig12(window: ExperimentWindow, jobs: usize) -> FigureResult {
     )
 }
 
+// --- The `fig_pvfs_extended` family (`repro ext-pvfs-*`) ---------------
+//
+// PVFS scenarios beyond the paper's figures, on the corrected
+// single-threaded cost model. Row labels are stable dotted IDs
+// (`group/case`, the nereid convention): the group names the swept
+// dimension, the case its point — refactors rewire the builders without
+// renaming a row, so reports stay diffable across time.
+
+/// ext-pvfs-stripe — striping-factor sweep past the paper's 6 servers:
+/// each extra I/O daemon brings its own GigE port, so the wire ceiling
+/// keeps climbing while the shared 4-core client node's receive path
+/// (where the reads land) saturates — the I/OAT gap is widest exactly
+/// where the node, not the wire, is the constraint.
+pub fn ext_pvfs_stripe(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    compare_figure(
+        "ext-pvfs-stripe",
+        "Ext: PVFS read vs striping factor (6 clients)",
+        "MB/s",
+        vec![2usize, 4, 6, 8, 10, 12],
+        jobs,
+        move |servers| {
+            let mut non_cfg = PvfsConfig::paper(servers, 6, IoatConfig::disabled());
+            non_cfg.window = window;
+            let mut ioat_cfg = non_cfg.clone();
+            ioat_cfg.ioat = IoatConfig::full();
+            let non = concurrent_read(&non_cfg);
+            let ioat = concurrent_read(&ioat_cfg);
+            Row {
+                label: format!("pvfs.stripe/s{servers}"),
+                non_ioat: non.mbytes_per_sec,
+                ioat: ioat.mbytes_per_sec,
+                non_cpu: non.client_cpu,
+                ioat_cpu: ioat.client_cpu,
+            }
+        },
+    )
+}
+
+/// ext-pvfs-clients — concurrent-client scaling beyond the paper's 6
+/// compute processes, at the paper's 6 servers.
+pub fn ext_pvfs_clients(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    compare_figure(
+        "ext-pvfs-clients",
+        "Ext: PVFS read vs client count (6 servers)",
+        "MB/s",
+        vec![2usize, 4, 6, 8, 12, 16],
+        jobs,
+        move |clients| {
+            let mut non_cfg = PvfsConfig::paper(6, clients, IoatConfig::disabled());
+            non_cfg.window = window;
+            let mut ioat_cfg = non_cfg.clone();
+            ioat_cfg.ioat = IoatConfig::full();
+            let non = concurrent_read(&non_cfg);
+            let ioat = concurrent_read(&ioat_cfg);
+            Row {
+                label: format!("pvfs.clients/c{clients}"),
+                non_ioat: non.mbytes_per_sec,
+                ioat: ioat.mbytes_per_sec,
+                non_cpu: non.client_cpu,
+                ioat_cpu: ioat.client_cpu,
+            }
+        },
+    )
+}
+
+/// ext-pvfs-stripesize — stripe-unit sensitivity around the PVFS 1.x
+/// 64 KB default (6 servers × 6 clients, reads): small stripes pay the
+/// per-piece request/bookkeeping overhead more often, large stripes
+/// lump the serial per-piece work into coarser grains.
+pub fn ext_pvfs_stripesize(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    compare_figure(
+        "ext-pvfs-stripesize",
+        "Ext: PVFS read vs stripe size (6x6)",
+        "MB/s",
+        vec![16u64, 32, 64, 128, 256],
+        jobs,
+        move |stripe_kb| {
+            let mut non_cfg = PvfsConfig::paper(6, 6, IoatConfig::disabled());
+            non_cfg.window = window;
+            non_cfg.stripe = stripe_kb * 1024;
+            let mut ioat_cfg = non_cfg.clone();
+            ioat_cfg.ioat = IoatConfig::full();
+            let non = concurrent_read(&non_cfg);
+            let ioat = concurrent_read(&ioat_cfg);
+            Row {
+                label: format!("pvfs.stripe_size/{stripe_kb}k"),
+                non_ioat: non.mbytes_per_sec,
+                ioat: ioat.mbytes_per_sec,
+                non_cpu: non.client_cpu,
+                ioat_cpu: ioat.client_cpu,
+            }
+        },
+    )
+}
+
+/// ext-pvfs-mixed — mixed read/write streams over the same daemons
+/// (6 servers, 6 clients, r readers + w writers). The CPU columns
+/// report the I/O-server node: it receives every write and serves every
+/// read, so it is the shared resource the mix contends on.
+pub fn ext_pvfs_mixed(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    compare_figure(
+        "ext-pvfs-mixed",
+        "Ext: PVFS mixed read/write streams (6x6)",
+        "MB/s",
+        vec![6usize, 4, 3, 2, 0],
+        jobs,
+        move |readers| {
+            let mut non_cfg = PvfsConfig::paper(6, 6, IoatConfig::disabled());
+            non_cfg.window = window;
+            let mut ioat_cfg = non_cfg.clone();
+            ioat_cfg.ioat = IoatConfig::full();
+            let non = mixed_streams(&non_cfg, readers);
+            let ioat = mixed_streams(&ioat_cfg, readers);
+            Row {
+                label: format!("pvfs.mixed/r{readers}w{}", 6 - readers),
+                non_ioat: non.mbytes_per_sec,
+                ioat: ioat.mbytes_per_sec,
+                non_cpu: non.server_cpu,
+                ioat_cpu: ioat.server_cpu,
+            }
+        },
+    )
+}
+
+/// ext-pvfs-meta — metadata-manager contention: every open queues behind
+/// the single serial manager daemon (§3.2 — one process), so the time
+/// until the *last* client's open completes grows superlinearly with the
+/// client count. The primary metric is that completion time in µs, not
+/// bandwidth; I/OAT barely moves it (metadata messages are far below the
+/// copy-offload threshold), which is itself the result.
+pub fn ext_pvfs_meta(window: ExperimentWindow, jobs: usize) -> FigureResult {
+    let mut fig = compare_figure(
+        "ext-pvfs-meta",
+        "Ext: PVFS metadata-manager contention (2 servers)",
+        "us",
+        vec![4usize, 8, 16, 32],
+        jobs,
+        move |clients| {
+            let mut non_cfg = PvfsConfig::paper(2, clients, IoatConfig::disabled());
+            non_cfg.window = window;
+            let mut ioat_cfg = non_cfg.clone();
+            ioat_cfg.ioat = IoatConfig::full();
+            let non = concurrent_read(&non_cfg);
+            let ioat = concurrent_read(&ioat_cfg);
+            Row {
+                label: format!("pvfs.meta/c{clients}"),
+                non_ioat: non.last_open_us,
+                ioat: ioat.last_open_us,
+                non_cpu: non.server_cpu,
+                ioat_cpu: ioat.server_cpu,
+            }
+        },
+    );
+    fig.notes.push(
+        "  metric: time until the last client's open completes (us); \
+         opens serialize on the single manager daemon"
+            .to_string(),
+    );
+    fig
+}
+
 /// Ablation A1 — the multi-queue feature the paper could not measure
 /// (§2.2.3): multi-stream bandwidth with interrupts spread across cores.
 pub fn ablation_multiqueue(window: ExperimentWindow, jobs: usize) -> FigureResult {
@@ -954,6 +1117,11 @@ pub fn run_figure(
         "fig11a" => fig11a(window, jobs),
         "fig11b" => fig11b(window, jobs),
         "fig12" => fig12(window, jobs),
+        "ext-pvfs-stripe" => ext_pvfs_stripe(window, jobs),
+        "ext-pvfs-clients" => ext_pvfs_clients(window, jobs),
+        "ext-pvfs-stripesize" => ext_pvfs_stripesize(window, jobs),
+        "ext-pvfs-mixed" => ext_pvfs_mixed(window, jobs),
+        "ext-pvfs-meta" => ext_pvfs_meta(window, jobs),
         "abl-mq" => ablation_multiqueue(window, jobs),
         "abl-copy" => ablation_async_memcpy(jobs),
         "abl-faults" => ablation_faults(window, jobs),
@@ -1132,6 +1300,80 @@ pub fn trace_fig7(window: ExperimentWindow, path: &std::path::Path) {
     println!("open the JSON at https://ui.perfetto.dev or chrome://tracing");
 }
 
+/// Runs the Fig. 10a configuration (6 servers × 6 clients, concurrent
+/// read) with tracing on for non-I/OAT and full I/OAT, prints the
+/// per-component CPU split-up on both nodes — this is the telemetry view
+/// that diagnosed the PVFS throughput bug: the I/O-server node's daemons
+/// barely register while the compute node's process-context receive path
+/// saturates, so the binding constraint is CPU, not the wire — and writes
+/// the full-I/OAT run as a Perfetto-loadable Chrome trace plus the event
+/// CSV, exactly like [`trace_fig7`]. Single-threaded by design.
+pub fn trace_fig10a(window: ExperimentWindow, path: &std::path::Path) {
+    use ioat_pvfs::harness::concurrent_read_traced;
+    use ioat_telemetry::{cpu_splitup, export, Category, Tracer};
+    let elapsed = (window.to() - window.from()).as_secs_f64();
+    let mut last: Option<Tracer> = None;
+    for (label, ioat) in [
+        ("non-I/OAT", IoatConfig::disabled()),
+        ("I/OAT full", IoatConfig::full()),
+    ] {
+        let mut cfg = PvfsConfig::paper(6, 6, ioat);
+        cfg.window = window;
+        let tracer = Tracer::enabled();
+        let res = concurrent_read_traced(&cfg, &tracer);
+        let report = cpu_splitup(&tracer.events(), window.from(), window.to());
+        println!("\n=== Fig 10a CPU split-up ({label}, 6 servers x 6 clients, read) ===");
+        print!("{}", report.render_table());
+        // Core-equivalents per node over the window: node 0 is the
+        // compute (client) node, node 1 the I/O-server node.
+        for (node, name) in [(0u32, "compute"), (1u32, "io-server")] {
+            let mut line = format!("  {name:<10}");
+            let mut total = 0.0;
+            for cat in [
+                Category::Interrupt,
+                Category::Protocol,
+                Category::Copy,
+                Category::Dma,
+                Category::App,
+            ] {
+                let busy: f64 = report
+                    .tracks()
+                    .filter(|t| t.node == node)
+                    .map(|t| report.busy_on(t, cat).as_secs_f64())
+                    .sum();
+                total += busy / elapsed;
+                line.push_str(&format!(" {}={:.2}", cat.name(), busy / elapsed));
+            }
+            println!("{line}  total={total:.2} cores");
+        }
+        println!(
+            "  bandwidth {:>6.0} MB/s   client-cpu {:>5.1}%   server-cpu {:>5.1}%   {} events",
+            res.mbytes_per_sec,
+            res.client_cpu * 100.0,
+            res.server_cpu * 100.0,
+            tracer.len()
+        );
+        last = Some(tracer);
+    }
+    let tracer = last.expect("loop ran");
+    if let Err(e) = export::write_chrome_trace(path, &tracer) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    let csv_events = path.with_extension("events.csv");
+    if let Err(e) = std::fs::write(&csv_events, export::events_csv(&tracer.events())) {
+        eprintln!("error: cannot write {}: {e}", csv_events.display());
+        std::process::exit(1);
+    }
+    println!(
+        "\nwrote {} ({} events) and {}",
+        path.display(),
+        tracer.len(),
+        csv_events.display()
+    );
+    println!("open the JSON at https://ui.perfetto.dev or chrome://tracing");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1205,6 +1447,29 @@ mod tests {
         for w in rows.windows(2) {
             assert!(w[1].non_ioat > w[0].non_ioat, "bandwidth grows with ports");
         }
+    }
+
+    #[test]
+    fn ext_pvfs_rows_are_identical_at_any_job_count() {
+        // The acceptance bar for the fig_pvfs_extended family: rows are
+        // a pure function of the configuration, so the sweep-pool worker
+        // count must be unobservable.
+        let w = ExperimentWindow::quick();
+        let a = ext_pvfs_meta(w, 1);
+        let b = ext_pvfs_meta(w, 8);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.notes, b.notes);
+        let rows = a.compare_rows().expect("compare table");
+        assert_eq!(rows.len(), 4);
+        // Stable dotted IDs, and contention grows with client count.
+        assert_eq!(rows[0].label, "pvfs.meta/c4");
+        assert_eq!(rows[3].label, "pvfs.meta/c32");
+        assert!(
+            rows[3].non_ioat > rows[0].non_ioat,
+            "32 opens must queue longer than 4: {} vs {}",
+            rows[3].non_ioat,
+            rows[0].non_ioat
+        );
     }
 
     #[test]

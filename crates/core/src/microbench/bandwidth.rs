@@ -159,7 +159,11 @@ mod tests {
             c.ioat.rx_cpu,
             c.non_ioat.rx_cpu
         );
-        // Throughput is wire-bound at 2 ports: roughly equal.
+        // Throughput is genuinely wire-bound at 2 ports for this
+        // *micro-benchmark*: the ttcp-style sink processes frames in
+        // kernel context across all cores, so CPU never saturates first
+        // (re-verified for PR 8 — unlike PVFS, where the serial
+        // single-threaded daemons make CPU the binding constraint).
         assert!((c.ioat.mbps - c.non_ioat.mbps).abs() / c.non_ioat.mbps < 0.1);
     }
 

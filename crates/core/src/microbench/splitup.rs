@@ -253,7 +253,10 @@ mod tests {
             "DMA CPU benefit {:.3}",
             r.dma_cpu_benefit()
         );
-        // Throughput is wire-bound here: no meaningful change.
+        // Throughput is genuinely wire-bound for this *micro-benchmark*
+        // (kernel-context receive, CPU head-room to spare; re-verified
+        // for PR 8): the DMA engine moves cycles, not bytes/s. The PVFS
+        // figures are the app-level case where CPU binds instead.
         assert!(r.dma_throughput_benefit().abs() < 0.08);
     }
 

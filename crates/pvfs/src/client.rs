@@ -6,8 +6,9 @@
 //! than issuing the whole region at once. Completed bytes feed the
 //! aggregate-bandwidth counter the `pvfs-test` harness reports.
 
-use crate::iod::{IodReply, IodRequest, READ_REQ_BYTES};
+use crate::iod::{IodReply, IodRequest, READ_REQ_BYTES, WRITE_ACK_BYTES};
 use crate::layout::{Layout, StripePiece};
+use crate::process::ProcessCpu;
 use ioat_faults::{FaultInjector, RetryPolicy};
 use ioat_netsim::msg::MsgSender;
 use ioat_netsim::Socket;
@@ -36,6 +37,15 @@ pub struct ClientParams {
     pub piece_base: SimDuration,
     /// Per-byte client CPU cost (aggregation/validation), picoseconds.
     pub piece_ps_per_byte: u64,
+    /// Per-byte process-context cost to touch received payload when the
+    /// CPU performs the kernel→user copy (no DMA engine): the copy plus
+    /// the cache pollution it leaves in the process's working set. For
+    /// reads this applies to every data piece; for writes only to the
+    /// small ack. Single-threaded model only.
+    pub rx_copy_ps_per_byte: u64,
+    /// Residual per-byte cost when the I/OAT DMA engine performs the
+    /// copy (descriptor posting + completion reaping).
+    pub rx_offload_ps_per_byte: u64,
 }
 
 impl Default for ClientParams {
@@ -44,6 +54,8 @@ impl Default for ClientParams {
             pipeline: 4,
             piece_base: SimDuration::from_micros(8),
             piece_ps_per_byte: 400,
+            rx_copy_ps_per_byte: 3430,
+            rx_offload_ps_per_byte: 2000,
         }
     }
 }
@@ -52,6 +64,22 @@ impl ClientParams {
     /// Client CPU cost to consume a completed piece of `len` bytes.
     pub fn piece_cost(&self, len: u64) -> SimDuration {
         self.piece_base + SimDuration::from_nanos(len * self.piece_ps_per_byte / 1000)
+    }
+
+    /// The effective per-byte receive-copy cost under `dma_engine`.
+    pub fn rx_ps_per_byte(&self, dma_engine: bool) -> u64 {
+        if dma_engine {
+            self.rx_offload_ps_per_byte
+        } else {
+            self.rx_copy_ps_per_byte
+        }
+    }
+
+    /// Single-threaded-model cost to consume a reply whose wire payload
+    /// was `rx_bytes` for a piece of `len` bytes: piece bookkeeping plus
+    /// the process-context copy of what actually arrived.
+    pub fn consume_cost(&self, len: u64, rx_bytes: u64, rx_ps_per_byte: u64) -> SimDuration {
+        self.piece_cost(len) + SimDuration::from_nanos(rx_bytes * rx_ps_per_byte / 1000)
     }
 }
 
@@ -96,6 +124,10 @@ struct State {
     stats: ClientFaultStats,
     /// Ops whose reply arrived in time (lifecycle audit bookkeeping).
     completed_ops: u64,
+    /// Single-threaded process model: when set, reply processing runs
+    /// through this serial thread with the rx-copy term at `rx_ps`.
+    proc: Option<ProcessCpu>,
+    rx_ps: u64,
 }
 
 /// One compute-node client process.
@@ -146,6 +178,8 @@ impl ClientProcess {
                 retry: RetryPolicy::default(),
                 stats: ClientFaultStats::default(),
                 completed_ops: 0,
+                proc: None,
+                rx_ps: 0,
             })),
             senders: Rc::new(RefCell::new(Vec::new())),
             socket_for_compute,
@@ -159,6 +193,18 @@ impl ClientProcess {
         let mut st = self.state.borrow_mut();
         st.faults = faults;
         st.retry = retry;
+    }
+
+    /// Switches the client to the single-threaded process model: reply
+    /// processing serializes on `proc` and each reply is charged the
+    /// process-context rx copy of its wire payload at `rx_ps_per_byte`
+    /// picoseconds per byte. Without this call the client keeps the
+    /// legacy behavior (each reply computes on the least-loaded core,
+    /// no rx-copy term).
+    pub fn set_process_cpu(&self, proc: ProcessCpu, rx_ps_per_byte: u64) {
+        let mut st = self.state.borrow_mut();
+        st.proc = Some(proc);
+        st.rx_ps = rx_ps_per_byte;
     }
 
     /// Fault/recovery counters accumulated so far.
@@ -257,7 +303,7 @@ impl ClientProcess {
         let senders = Rc::clone(&self.senders);
         let sock = self.socket_for_compute.clone();
         move |sim, reply| {
-            let cost = {
+            let (cost, proc) = {
                 let mut st = state.borrow_mut();
                 let Some(opst) = st.ops.remove(&reply.op()) else {
                     // The op was already retried or abandoned; discard the
@@ -272,15 +318,32 @@ impl ClientProcess {
                 st.outstanding -= 1;
                 st.completed_ops += 1;
                 st.done.borrow_mut().add_at(sim.now(), len);
-                st.params.piece_cost(len)
+                let cost = match st.proc {
+                    // Single-threaded model: charge the rx copy of what
+                    // came over the wire — the data piece for reads, the
+                    // 64-byte ack for writes.
+                    Some(_) => {
+                        let rx_bytes = match reply {
+                            IodReply::Data { len, .. } => len,
+                            IodReply::Ack { .. } => WRITE_ACK_BYTES,
+                        };
+                        st.params.consume_cost(len, rx_bytes, st.rx_ps)
+                    }
+                    None => st.params.piece_cost(len),
+                };
+                (cost, st.proc.clone())
             };
             let state2 = Rc::clone(&state);
             let senders2 = Rc::clone(&senders);
             let conn2 = conn_sock.clone();
-            sock.compute(sim, cost, move |sim| {
+            let then = move |sim: &mut Sim| {
                 conn2.post_recv(sim);
                 issue(&state2, &senders2, sim);
-            });
+            };
+            match proc {
+                Some(p) => p.run(sim, cost, then),
+                None => sock.compute(sim, cost, then),
+            }
         }
     }
 

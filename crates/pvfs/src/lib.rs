@@ -20,6 +20,8 @@
 //! * [`meta`] — the metadata manager daemon.
 //! * [`iod`] — per-server I/O daemons and the `ramfs` cost model.
 //! * [`client`] — compute-node clients with pipelined stripe requests.
+//! * [`process`] — single-threaded process CPU serialization (one
+//!   serial thread per daemon/client, as the 2007 testbed ran them).
 //! * [`harness`] — the `pvfs-test`-equivalent experiment drivers.
 
 #![warn(missing_docs)]
@@ -30,9 +32,13 @@ pub mod harness;
 pub mod iod;
 pub mod layout;
 pub mod meta;
+pub mod process;
 
-pub use harness::{concurrent_read, concurrent_write, multi_stream_read, PvfsConfig, PvfsResult};
+pub use harness::{
+    concurrent_read, concurrent_write, mixed_streams, multi_stream_read, PvfsConfig, PvfsResult,
+};
 pub use layout::{Layout, StripePiece, DEFAULT_STRIPE};
+pub use process::ProcessCpu;
 
 #[cfg(test)]
 mod send_contract {

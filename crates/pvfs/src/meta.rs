@@ -6,6 +6,7 @@
 //! participate in read/write operations." Clients perform one `open`
 //! round trip before streaming I/O.
 
+use crate::process::ProcessCpu;
 use ioat_netsim::msg::{self, MsgSender};
 use ioat_netsim::Socket;
 use ioat_simcore::{Sim, SimDuration};
@@ -55,6 +56,36 @@ where
     msg::channel(client_sock, manager_sock, move |sim: &mut Sim, _req: ()| {
         let reply2 = Rc::clone(&reply);
         manager2.compute(sim, params.open_cost, move |sim| {
+            reply2.send(sim, META_REPLY_BYTES, ());
+        });
+    })
+}
+
+/// [`serve_meta`] with the manager running as a single-threaded process:
+/// every connection to the manager passes the same [`ProcessCpu`], so
+/// concurrent opens from many clients queue behind one serial daemon —
+/// the §3.2 "manager daemon" is one process, and the
+/// metadata-contention scenario measures exactly that queue.
+pub fn serve_meta_shared<F>(
+    client_sock: Socket,
+    manager_sock: Socket,
+    params: MetaParams,
+    cpu: ProcessCpu,
+    on_open: F,
+) -> MsgSender<()>
+where
+    F: FnMut(&mut Sim, ()) + 'static,
+{
+    // Replies manager → client.
+    let reply = Rc::new(msg::channel(
+        manager_sock.clone(),
+        client_sock.clone(),
+        on_open,
+    ));
+    // Requests client → manager, serialized on the manager's thread.
+    msg::channel(client_sock, manager_sock, move |sim: &mut Sim, _req: ()| {
+        let reply2 = Rc::clone(&reply);
+        cpu.run(sim, params.open_cost, move |sim| {
             reply2.send(sim, META_REPLY_BYTES, ());
         });
     })

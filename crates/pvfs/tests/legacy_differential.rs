@@ -1,0 +1,128 @@
+//! Differential test for the corrected I/O-daemon cost model.
+//!
+//! PR 8 replaced the legacy per-connection PVFS threading model (every
+//! connection its own daemon handler, all work spread over the node's
+//! least-loaded cores, no process-context rx-copy) with the
+//! single-threaded process model the 2007 testbed actually ran: one
+//! serial `iod` thread per I/O server shared by every client
+//! connection, one serial thread per client process, one serial
+//! metadata manager, and rx-copy charged on the receiving side. The
+//! legacy path is kept behind [`PvfsConfig::legacy_threading`] and must
+//! keep reproducing the pre-fix wire-bound rows *bit-for-bit* — same
+//! contract as the indexed-queue differential test in
+//! `simcore/tests/queue_differential.rs`: the refactor may add a
+//! serialization point only when the new model is enabled; with it
+//! disabled, nothing about the simulation may move by even one ULP.
+//!
+//! The pinned constants below are the exact f64 bit patterns the
+//! pre-fix model produced for the `quick_test(2, 3)` read and write
+//! sweeps (both I/OAT settings saturate the 2-port wire at
+//! 241.17 MB/s — the very symptom the tracer diagnosed: throughput
+//! was wire-bound because no CPU could saturate first).
+
+use ioat_core::IoatConfig;
+use ioat_pvfs::harness::{concurrent_read, concurrent_write, PvfsConfig, PvfsResult};
+
+/// Recorded pre-fix row: (bandwidth, client CPU, server CPU) bits.
+struct LegacyRow {
+    bw: u64,
+    client_cpu: u64,
+    server_cpu: u64,
+}
+
+/// `quick_test(2, 3)` rows recorded from the legacy per-connection
+/// model. Both modes sit exactly on the 2-port wire (241.17 MB/s).
+const LEGACY_NON_READ: LegacyRow = LegacyRow {
+    bw: 0x406e_2584_f4c6_e6d9,
+    client_cpu: 0x3fc5_42e6_03aa_8478,
+    server_cpu: 0x3fb5_8937_f793_1f01,
+};
+const LEGACY_NON_WRITE: LegacyRow = LegacyRow {
+    bw: 0x406e_2584_f4c6_e6d9,
+    client_cpu: 0x3fb9_0fa8_13af_e02d,
+    server_cpu: 0x3fc8_cd88_c9e8_96d8,
+};
+const LEGACY_IOAT_READ: LegacyRow = LegacyRow {
+    bw: 0x406e_2584_f4c6_e6d9,
+    client_cpu: 0x3fbe_94fe_7f4c_6660,
+    server_cpu: 0x3fb5_8d85_393a_5e4b,
+};
+const LEGACY_IOAT_WRITE: LegacyRow = LegacyRow {
+    bw: 0x406e_2584_f4c6_e6d9,
+    client_cpu: 0x3fb9_1aa5_f39a_1616,
+    server_cpu: 0x3fc2_d768_1bc8_3289,
+};
+
+fn assert_row(what: &str, got: &PvfsResult, want: &LegacyRow) {
+    assert_eq!(
+        got.mbytes_per_sec.to_bits(),
+        want.bw,
+        "{what}: bandwidth moved ({} vs {})",
+        got.mbytes_per_sec,
+        f64::from_bits(want.bw)
+    );
+    assert_eq!(
+        got.client_cpu.to_bits(),
+        want.client_cpu,
+        "{what}: client CPU moved ({} vs {})",
+        got.client_cpu,
+        f64::from_bits(want.client_cpu)
+    );
+    assert_eq!(
+        got.server_cpu.to_bits(),
+        want.server_cpu,
+        "{what}: server CPU moved ({} vs {})",
+        got.server_cpu,
+        f64::from_bits(want.server_cpu)
+    );
+    assert_eq!(got.opens, 3, "{what}: opens moved");
+}
+
+#[test]
+fn legacy_threading_reproduces_the_wire_bound_rows_bit_for_bit() {
+    let non = |s, c| PvfsConfig::quick_test(s, c, IoatConfig::disabled()).legacy_threading();
+    let ioat = |s, c| PvfsConfig::quick_test(s, c, IoatConfig::full()).legacy_threading();
+
+    assert_row("non read", &concurrent_read(&non(2, 3)), &LEGACY_NON_READ);
+    assert_row(
+        "non write",
+        &concurrent_write(&non(2, 3)),
+        &LEGACY_NON_WRITE,
+    );
+    assert_row(
+        "ioat read",
+        &concurrent_read(&ioat(2, 3)),
+        &LEGACY_IOAT_READ,
+    );
+    assert_row(
+        "ioat write",
+        &concurrent_write(&ioat(2, 3)),
+        &LEGACY_IOAT_WRITE,
+    );
+}
+
+#[test]
+fn corrected_model_adds_the_missing_serialization_point() {
+    // The whole point of the fix: with the serial process threads and
+    // rx-copy terms enabled (the default), non-I/OAT CPU can saturate
+    // before the wire, so throughput drops below the legacy wire-bound
+    // figure and I/OAT opens a gap the legacy model could never show.
+    // This needs the full 6-port wire (723 MB/s): the compute-node CPU
+    // cap (~645 MB/s) sits between the 2-port and 6-port wire rates.
+    let legacy =
+        concurrent_read(&PvfsConfig::quick_test(6, 6, IoatConfig::disabled()).legacy_threading());
+    let non = concurrent_read(&PvfsConfig::quick_test(6, 6, IoatConfig::disabled()));
+    let ioat = concurrent_read(&PvfsConfig::quick_test(6, 6, IoatConfig::full()));
+    assert!(
+        non.mbytes_per_sec < legacy.mbytes_per_sec,
+        "corrected non-I/OAT read should fall below the wire-bound legacy row ({} vs {})",
+        non.mbytes_per_sec,
+        legacy.mbytes_per_sec
+    );
+    assert!(
+        ioat.mbytes_per_sec > non.mbytes_per_sec * 1.02,
+        "I/OAT should out-run non-I/OAT once the daemon model is CPU-bound ({} vs {})",
+        ioat.mbytes_per_sec,
+        non.mbytes_per_sec
+    );
+}

@@ -168,6 +168,46 @@ fn fault_enabled_runs_are_bit_reproducible() {
 }
 
 #[test]
+fn fault_failover_is_deterministic_in_the_single_threaded_model() {
+    // The PR-8 daemon cost model routes every request through serial
+    // per-process CPU threads (shared iod thread, serial client thread,
+    // serial metadata manager). A daemon crash mid-window must still
+    // drop requests, trigger failover to the surviving server, and stay
+    // bit-reproducible — the retry/deadline machinery now runs *under*
+    // the process-CPU serialization, not beside it.
+    let mut cfg = PvfsConfig::quick_test(2, 3, IoatConfig::full());
+    assert!(
+        cfg.single_threaded,
+        "quick_test must default to the corrected single-threaded model"
+    );
+    cfg.faults.crashes.push(CrashWindow {
+        service: 0,
+        window: TimeWindow::new(
+            SimTime::from_nanos(500_000),
+            SimTime::from_nanos(12_000_000),
+        ),
+    });
+    cfg.retry.timeout = SimDuration::from_millis(1);
+    let p = concurrent_read(&cfg);
+    let q = concurrent_read(&cfg);
+    assert!(
+        p.daemon_drops > 0 && p.failovers > 0,
+        "crash window must drop requests and force failover (drops={}, failovers={})",
+        p.daemon_drops,
+        p.failovers
+    );
+    assert_eq!(p, q);
+
+    // And the fault machinery must not leak into fault-free runs: the
+    // same config with no crash window reproduces the plain row.
+    let clean_cfg = PvfsConfig::quick_test(2, 3, IoatConfig::full());
+    let clean = concurrent_read(&clean_cfg);
+    assert_eq!(clean.daemon_drops, 0);
+    assert_eq!(clean.failovers, 0);
+    assert!(clean.mbytes_per_sec > p.mbytes_per_sec);
+}
+
+#[test]
 fn pvfs_tracing_is_bit_for_bit_non_perturbing() {
     let cfg = PvfsConfig::quick_test(2, 3, IoatConfig::full());
     let off = concurrent_read(&cfg);
