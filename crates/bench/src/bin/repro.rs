@@ -8,7 +8,9 @@
 //!       [--trace <path>] [target ...]
 //! ```
 //!
-//! With no targets (or `all`) every figure runs. `--list` prints the
+//! With no targets (or `all`) every figure runs (the `abl-modern-*`
+//! workload slices excepted — `all` runs the `abl-modern` umbrella grid
+//! once instead). `--list` prints the
 //! known targets with one-line descriptions. `--quick` uses short
 //! measurement windows (for smoke tests); the default windows match
 //! `EXPERIMENTS.md`. `--jobs N` sets the sweep-executor worker count
@@ -84,6 +86,22 @@ const TARGETS: &[(&str, &str)] = &[
     (
         "abl-faults",
         "Ablation A3: frame-loss sweep + PVFS daemon crash/failover",
+    ),
+    (
+        "abl-modern",
+        "Ablation A4: modern grid, rx mode x link rate x I/OAT",
+    ),
+    (
+        "abl-modern-mstream",
+        "Ablation A4 slice: multi-stream workload only",
+    ),
+    (
+        "abl-modern-dc",
+        "Ablation A4 slice: fabric datacenter workload only",
+    ),
+    (
+        "abl-modern-pvfs",
+        "Ablation A4 slice: PVFS concurrent-read workload only",
     ),
     (
         "fig_fabric",
@@ -330,7 +348,10 @@ fn main() {
     };
     let mut results = Vec::new();
     for (name, _) in TARGETS {
-        if all || cli.targets.iter().any(|t| t == name) {
+        // The abl-modern workload slices are single-figure conveniences;
+        // 'all' runs the umbrella grid once instead of four times.
+        let in_all = all && !name.starts_with("abl-modern-");
+        if in_all || cli.targets.iter().any(|t| t == name) {
             let fig = figs::run_figure_supervised(name, window, cli.jobs, &opts)
                 .expect("TARGETS only lists known figures");
             if let Some(reason) = &fig.error {

@@ -13,6 +13,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod microtime;
+pub mod modern;
 pub mod report;
 pub mod sweep;
 
@@ -1091,9 +1092,9 @@ pub fn peak_rss_bytes() -> Option<u64> {
 /// Builds one figure by target name, timing the build. Returns `None`
 /// for an unknown name — the `repro` CLI validates names first.
 /// `sim_threads` sets the partitioned-engine worker count for the
-/// figures that run on it (the `fig_fabric` family; the paper figures
-/// are single simulations and ignore it). Results are bit-identical at
-/// any `sim_threads` value.
+/// figures that run on it (the `fig_fabric` family and the datacenter
+/// cells of `abl-modern`; the paper figures are single simulations and
+/// ignore it). Results are bit-identical at any `sim_threads` value.
 pub fn run_figure(
     name: &str,
     window: ExperimentWindow,
@@ -1125,6 +1126,22 @@ pub fn run_figure(
         "abl-mq" => ablation_multiqueue(window, jobs),
         "abl-copy" => ablation_async_memcpy(jobs),
         "abl-faults" => ablation_faults(window, jobs),
+        "abl-modern" => modern::ablation_modern(window, jobs, sim_threads),
+        "abl-modern-mstream" => modern::ablation_modern_slice(
+            modern::ModernWorkload::MultiStream,
+            window,
+            jobs,
+            sim_threads,
+        ),
+        "abl-modern-dc" => modern::ablation_modern_slice(
+            modern::ModernWorkload::DataCenter,
+            window,
+            jobs,
+            sim_threads,
+        ),
+        "abl-modern-pvfs" => {
+            modern::ablation_modern_slice(modern::ModernWorkload::Pvfs, window, jobs, sim_threads)
+        }
         "fig_fabric" => fig_fabric(window, jobs, sim_threads),
         _ => return None,
     };

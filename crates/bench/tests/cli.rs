@@ -77,9 +77,29 @@ fn list_prints_targets_and_exits_0() {
     let out = repro(&["--list"]);
     assert_eq!(out.status.code(), Some(0));
     let text = stdout(&out);
-    for target in ["fig3a", "fig12", "abl-faults"] {
+    for target in [
+        "fig3a",
+        "fig12",
+        "abl-faults",
+        "abl-modern",
+        "abl-modern-mstream",
+        "abl-modern-dc",
+        "abl-modern-pvfs",
+    ] {
         assert!(text.contains(target), "--list names {target}");
     }
+}
+
+#[test]
+fn abl_modern_typo_exits_2_with_suggestion() {
+    let out = repro(&["abl-modren"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown target 'abl-modren'"), "stderr: {err}");
+    assert!(
+        err.contains("did you mean 'abl-modern'"),
+        "suggests the grid target: {err}"
+    );
 }
 
 #[test]

@@ -233,3 +233,80 @@ fn json_report_identical_across_jobs_modulo_wall_clock() {
     };
     assert_eq!(render(1), render(8));
 }
+
+/// The modern-offload grid cells used by the determinism tests below:
+/// one cell per workload (plus a second engine-bound multistream cell),
+/// covering both the single-simulation cells and the dc cells that run
+/// on the partitioned engine. The full 48-cell grid is a release-build
+/// affair; this subset exercises the identical cell closures.
+fn modern_mini_points() -> Vec<(figs::modern::ModernWorkload, u64, ioat_netsim::RxMode)> {
+    use figs::modern::ModernWorkload::*;
+    use ioat_netsim::RxMode;
+    vec![
+        (MultiStream, 10, RxMode::Interrupt),
+        (MultiStream, 100, RxMode::ZeroCopy),
+        (DataCenter, 10, RxMode::BusyPoll),
+        (Pvfs, 40, RxMode::Coalesced),
+    ]
+}
+
+#[test]
+fn abl_modern_rows_identical_across_jobs() {
+    let w = ExperimentWindow::quick();
+    let seq = figs::modern::ablation_modern_points(modern_mini_points(), w, 1, 1);
+    let par = figs::modern::ablation_modern_points(modern_mini_points(), w, 8, 1);
+    assert_eq!(
+        seq.rows, par.rows,
+        "abl-modern rows must be bit-identical at --jobs 1 and --jobs 8"
+    );
+    assert_eq!(seq.notes, par.notes);
+    assert_eq!(
+        seq.sim_events, par.sim_events,
+        "dc-cell event totals are part of the contract"
+    );
+    assert_eq!(seq.parsim, par.parsim, "dc-cell parsim telemetry too");
+    assert!(!seq.rows.is_empty());
+    let rows = seq.compare_rows().expect("compare-shaped figure");
+    assert_eq!(rows.len(), modern_mini_points().len());
+    assert!(
+        rows.iter().all(|r| r.label.starts_with("abl.modern/")),
+        "every row carries its stable dotted id"
+    );
+}
+
+#[test]
+fn abl_modern_rows_identical_sequential_vs_partitioned() {
+    // The dc cells run on the conservative partitioned engine; worker
+    // count must be unobservable in rows, notes, events and telemetry.
+    let w = ExperimentWindow::quick();
+    let t1 = figs::modern::ablation_modern_points(modern_mini_points(), w, 1, 1);
+    let t4 = figs::modern::ablation_modern_points(modern_mini_points(), w, 1, 4);
+    assert_eq!(
+        t1.rows, t4.rows,
+        "abl-modern rows must be bit-identical at --sim-threads 1 and 4"
+    );
+    assert_eq!(t1.notes, t4.notes);
+    assert_eq!(t1.sim_events, t4.sim_events);
+    assert_eq!(t1.parsim, t4.parsim);
+    assert!(
+        !t1.parsim.is_empty(),
+        "the dc cell reports partitioned-engine telemetry"
+    );
+}
+
+#[test]
+fn abl_modern_cells_are_audit_clean() {
+    // Every mini-grid cell under the runtime invariant audits: frame
+    // conservation, socket lifecycle and core accounting must all hold
+    // in every rx mode, including the polling and zero-copy paths.
+    let w = ExperimentWindow::quick();
+    let (result, violations) = ioat_guard::with_audit_budget(None, || {
+        figs::modern::ablation_modern_points(modern_mini_points(), w, 1, 1)
+    });
+    let fig = result.expect("grid cells must not panic under audit");
+    assert!(
+        violations.is_empty(),
+        "audit violations in the modern grid: {violations:?}"
+    );
+    assert!(!fig.rows.is_empty());
+}

@@ -53,6 +53,73 @@ pub fn testbed_params() -> StackParams {
     StackParams::default()
 }
 
+/// Cores per node on the 2026-class host profile (one mid-range server
+/// socket's worth of cores given to network processing).
+pub const MODERN_CORES: usize = 8;
+
+/// A 2026-class node's last-level cache: 32 MB, 16-way, 64-byte lines.
+pub fn modern_cache() -> CacheConfig {
+    CacheConfig {
+        capacity: 32 * 1024 * 1024,
+        associativity: 16,
+        line_size: 64,
+    }
+}
+
+/// Hardware era a node is calibrated against — the host axis of the
+/// modern-offload ablation (`repro abl-modern`).
+///
+/// [`NodeProfile::Testbed2007`] is the paper's machine and is the default
+/// everywhere; every paper figure is pinned to it. [`NodeProfile::Modern2026`]
+/// scales the per-packet software costs, copy bandwidth, DMA engine and
+/// cache to a current-generation server so the ablation can ask whether
+/// I/OAT's CPU advantage survives two decades of both hardware and stack
+/// evolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NodeProfile {
+    /// The paper's testbed: 4 cores, 2 MB L2, 2007-era per-packet costs.
+    #[default]
+    Testbed2007,
+    /// A 2026-class server: 8 cores, 32 MB LLC, ~3× cheaper per-packet
+    /// software costs, DDR5 copy bandwidth, modern on-die DMA engine.
+    Modern2026,
+}
+
+impl NodeProfile {
+    /// Cores per node under this profile.
+    pub fn cores(&self) -> usize {
+        match self {
+            NodeProfile::Testbed2007 => TESTBED_CORES,
+            NodeProfile::Modern2026 => MODERN_CORES,
+        }
+    }
+
+    /// Calibrated host-stack parameters under this profile.
+    pub fn params(&self) -> StackParams {
+        match self {
+            NodeProfile::Testbed2007 => testbed_params(),
+            NodeProfile::Modern2026 => StackParams::modern_2026(),
+        }
+    }
+
+    /// Cache geometry under this profile.
+    pub fn cache(&self) -> CacheConfig {
+        match self {
+            NodeProfile::Testbed2007 => testbed_cache(),
+            NodeProfile::Modern2026 => modern_cache(),
+        }
+    }
+
+    /// Short stable tag for dotted row IDs.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            NodeProfile::Testbed2007 => "2007",
+            NodeProfile::Modern2026 => "2026",
+        }
+    }
+}
+
 /// Theoretical TCP goodput of one GigE port with standard frames:
 /// 1460 / 1538 of the line rate ≈ 949 Mbps.
 pub fn gige_goodput_mbps(mtu: u64) -> f64 {

@@ -30,17 +30,27 @@ pub struct NodeConfig {
     pub ioat: IoatConfig,
     /// Stack cost parameters.
     pub params: StackParams,
+    /// Cache geometry.
+    pub cache: ioat_memsim::CacheConfig,
 }
 
 impl NodeConfig {
     /// A paper-testbed node (4 cores, calibrated parameters) with the
     /// given feature set.
     pub fn testbed(name: &str, ioat: IoatConfig) -> Self {
+        Self::profiled(name, ioat, calibration::NodeProfile::Testbed2007)
+    }
+
+    /// A node calibrated to the given hardware era with the given feature
+    /// set — [`NodeConfig::testbed`] generalized over
+    /// [`calibration::NodeProfile`].
+    pub fn profiled(name: &str, ioat: IoatConfig, profile: calibration::NodeProfile) -> Self {
         NodeConfig {
             name: name.to_string(),
-            cores: calibration::TESTBED_CORES,
+            cores: profile.cores(),
             ioat,
-            params: calibration::testbed_params(),
+            params: profile.params(),
+            cache: profile.cache(),
         }
     }
 }
@@ -318,13 +328,7 @@ impl Cluster {
             "duplicate node name {}",
             cfg.name
         );
-        let stack = HostStack::with_cache(
-            &cfg.name,
-            cfg.cores,
-            cfg.params,
-            cfg.ioat,
-            calibration::testbed_cache(),
-        );
+        let stack = HostStack::with_cache(&cfg.name, cfg.cores, cfg.params, cfg.ioat, cfg.cache);
         let h = NodeHandle(self.nodes.len());
         if self.tracer.is_enabled() {
             stack

@@ -6,11 +6,12 @@
 //! observes non-I/OAT's CPU climbing to 76 % (vs 52 % with I/OAT) with a
 //! bandwidth dip at 12 threads.
 
-use crate::calibration;
+use crate::calibration::{self, NodeProfile};
 use crate::cluster::{Cluster, NodeConfig};
 use crate::metrics::{Comparison, ExperimentWindow, ThroughputResult};
 use crate::microbench::stream;
 use ioat_netsim::{IoatConfig, SocketOpts};
+use ioat_simcore::time::Bandwidth;
 
 /// Configuration of a multi-stream run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +25,10 @@ pub struct MultiStreamConfig {
     pub opts: SocketOpts,
     /// Measurement window.
     pub window: ExperimentWindow,
+    /// Per-port line rate (the paper's testbed: 1 GbE).
+    pub link: Bandwidth,
+    /// Hardware era both endpoints are calibrated against.
+    pub profile: NodeProfile,
 }
 
 impl MultiStreamConfig {
@@ -34,17 +39,26 @@ impl MultiStreamConfig {
             ports: calibration::TESTBED_PORTS,
             opts: SocketOpts::tuned(),
             window: ExperimentWindow::standard(),
+            link: calibration::port_bandwidth(),
+            profile: NodeProfile::Testbed2007,
         }
     }
 
     /// Small fast configuration for unit tests.
     pub fn quick_test(threads: usize) -> Self {
         MultiStreamConfig {
-            threads,
             ports: 2,
-            opts: SocketOpts::tuned(),
             window: ExperimentWindow::quick(),
+            ..Self::paper(threads)
         }
+    }
+
+    /// The same run shape at a different line rate and hardware era —
+    /// the multistream cell of the modern-offload ablation.
+    pub fn with_link(mut self, link: Bandwidth, profile: NodeProfile) -> Self {
+        self.link = link;
+        self.profile = profile;
+        self
     }
 }
 
@@ -52,15 +66,19 @@ impl MultiStreamConfig {
 pub fn run(cfg: &MultiStreamConfig, ioat: IoatConfig) -> ThroughputResult {
     assert!(cfg.threads > 0, "at least one stream required");
     let mut cluster = Cluster::new(0xB2);
-    let client = cluster.add_node(NodeConfig::testbed("client", ioat));
-    let server = cluster.add_node(NodeConfig::testbed("server", ioat));
+    cluster.set_bandwidth(cfg.link);
+    let client = cluster.add_node(NodeConfig::profiled("client", ioat, cfg.profile));
+    let server = cluster.add_node(NodeConfig::profiled("server", ioat, cfg.profile));
     let pairs = cluster.connect_ports(client, server, cfg.ports, cfg.opts.coalescing);
 
     let hint = cfg.window.to().as_nanos();
+    // Offered load per stream tracks the line rate so faster links stay
+    // busy through the window (at 1 GbE this is the paper's 1000 Mbps).
+    let rate_mbps = cfg.link.as_bps() as f64 / 1e6;
     for t in 0..cfg.threads {
         let pair = pairs[t % pairs.len()];
         let (s_tx, _) = cluster.open(client, server, pair, cfg.opts);
-        stream(&s_tx, cluster.sim_mut(), hint, 1_000.0);
+        stream(&s_tx, cluster.sim_mut(), hint, rate_mbps);
     }
 
     let (from, to) = cfg.window.execute(&mut cluster, &[client, server]);

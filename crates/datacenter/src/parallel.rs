@@ -273,7 +273,11 @@ fn build_group_part(cfg: &ScaleConfig, lay: Layout, g: usize, out: Outbox<NetMsg
     let proxies: Vec<(usize, NodeHandle, usize)> = (0..lay.f)
         .map(|i| {
             let p = g + i * lay.groups;
-            let h = cluster.add_node(NodeConfig::testbed(&format!("p{p}"), cfg.ioat));
+            let h = cluster.add_node(NodeConfig::profiled(
+                &format!("p{p}"),
+                cfg.ioat,
+                cfg.profile,
+            ));
             let port = cluster.attach_router_host(
                 h,
                 Rc::clone(&router) as Rc<dyn FrameRouter>,
@@ -287,7 +291,11 @@ fn build_group_part(cfg: &ScaleConfig, lay: Layout, g: usize, out: Outbox<NetMsg
     let webs: Vec<(usize, NodeHandle, usize)> = (0..lay.f)
         .map(|j| {
             let w = g * lay.f + j;
-            let h = cluster.add_node(NodeConfig::testbed(&format!("w{w}"), cfg.ioat));
+            let h = cluster.add_node(NodeConfig::profiled(
+                &format!("w{w}"),
+                cfg.ioat,
+                cfg.profile,
+            ));
             let port = cluster.attach_router_host(
                 h,
                 Rc::clone(&router) as Rc<dyn FrameRouter>,

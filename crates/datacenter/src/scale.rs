@@ -63,6 +63,8 @@ pub struct ScaleConfig {
     pub client_latency: SimDuration,
     /// Workload seed (catalog sizes + Zipf draws).
     pub seed: u64,
+    /// Hardware era every server node is calibrated against.
+    pub profile: ioat_core::calibration::NodeProfile,
 }
 
 impl ScaleConfig {
@@ -88,6 +90,7 @@ impl ScaleConfig {
             think: SimDuration::from_millis(20),
             client_latency: SimDuration::from_micros(200),
             seed: 0xD1CE,
+            profile: ioat_core::calibration::NodeProfile::Testbed2007,
         }
     }
 
@@ -204,7 +207,11 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
     let mut nodes: Vec<NodeHandle> = Vec::with_capacity(hosts);
     let proxies: Vec<NodeHandle> = (0..n_proxies)
         .map(|p| {
-            let h = cluster.add_node(NodeConfig::testbed(&format!("p{p}"), cfg.ioat));
+            let h = cluster.add_node(NodeConfig::profiled(
+                &format!("p{p}"),
+                cfg.ioat,
+                cfg.profile,
+            ));
             cluster.attach_fabric_host(h, p);
             nodes.push(h);
             h
@@ -212,7 +219,11 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
         .collect();
     let webs: Vec<NodeHandle> = (0..n_webs)
         .map(|w| {
-            let h = cluster.add_node(NodeConfig::testbed(&format!("w{w}"), cfg.ioat));
+            let h = cluster.add_node(NodeConfig::profiled(
+                &format!("w{w}"),
+                cfg.ioat,
+                cfg.profile,
+            ));
             cluster.attach_fabric_host(h, n_proxies + w);
             nodes.push(h);
             h

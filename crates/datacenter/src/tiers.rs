@@ -170,6 +170,7 @@ where
         cores: 16,
         ioat: IoatConfig::disabled(),
         params: ioat_core::calibration::testbed_params(),
+        cache: ioat_core::calibration::testbed_cache(),
     });
     let proxy = cluster.add_node(NodeConfig::testbed("proxy", cfg.ioat));
     let web = cluster.add_node(NodeConfig::testbed("web", cfg.ioat));

@@ -48,6 +48,13 @@ pub struct DmaConfig {
     pub per_chunk: SimDuration,
     /// Synchronous CPU cost to reap the completion.
     pub completion: SimDuration,
+    /// Completions reaped per poll of the completion ring. The
+    /// first-generation driver reaped one descriptor per interrupt
+    /// (batch = 1, the default — bit-identical to the pre-batching
+    /// model); modern engines coalesce descriptor writebacks so one
+    /// ring poll retires a whole batch, amortizing `completion` over
+    /// `completion_batch` requests.
+    pub completion_batch: u32,
 }
 
 impl Default for DmaConfig {
@@ -58,7 +65,32 @@ impl Default for DmaConfig {
             transfer_ps_per_byte: 400,
             per_chunk: SimDuration::from_nanos(40),
             completion: SimDuration::from_nanos(150),
+            completion_batch: 1,
         }
+    }
+}
+
+impl DmaConfig {
+    /// A 2026-class copy/offload engine (CB-DMA/DSA lineage): cheaper
+    /// descriptor setup, ~10 GB/s per channel (vs the first-generation
+    /// 2.5 GB/s), and batched completion writebacks (8 descriptors per
+    /// ring poll).
+    pub fn modern_2026() -> Self {
+        DmaConfig {
+            startup: SimDuration::from_nanos(150),
+            pin_per_page: SimDuration::from_nanos(15),
+            transfer_ps_per_byte: 100,
+            per_chunk: SimDuration::from_nanos(20),
+            completion: SimDuration::from_nanos(120),
+            completion_batch: 8,
+        }
+    }
+
+    /// Amortized synchronous CPU cost charged per reaped completion:
+    /// `completion / completion_batch`. With the default batch of 1 this
+    /// is exactly `completion`.
+    pub fn completion_reap_cost(&self) -> SimDuration {
+        self.completion / u64::from(self.completion_batch.max(1))
     }
 }
 
@@ -257,7 +289,7 @@ impl DmaEngine {
     /// `memcpy` and to compute the overlappable fraction (Fig. 6's
     /// `Overlap` line).
     pub fn total_cost(&self, req: &DmaRequest) -> SimDuration {
-        self.cpu_overhead(req) + self.transfer_time(req) + self.config.completion
+        self.cpu_overhead(req) + self.transfer_time(req) + self.config.completion_reap_cost()
     }
 
     /// Fraction of [`DmaEngine::total_cost`] that the CPU can overlap with
@@ -335,6 +367,40 @@ mod tests {
 
     fn req(alloc: &mut AddressAllocator, len: u64) -> DmaRequest {
         DmaRequest::new(alloc.alloc(len), alloc.alloc(len))
+    }
+
+    #[test]
+    fn completion_batching_amortizes_the_reap() {
+        let legacy = DmaConfig::default();
+        assert_eq!(legacy.completion_batch, 1);
+        assert_eq!(
+            legacy.completion_reap_cost(),
+            legacy.completion,
+            "batch of 1 is bit-identical to the pre-batching model"
+        );
+        let modern = DmaConfig::modern_2026();
+        assert_eq!(modern.completion_batch, 8);
+        assert_eq!(modern.completion_reap_cost(), modern.completion / 8);
+        assert!(modern.completion_reap_cost() < legacy.completion_reap_cost());
+        // A zero batch is treated as 1, never a division by zero.
+        let degenerate = DmaConfig {
+            completion_batch: 0,
+            ..DmaConfig::default()
+        };
+        assert_eq!(degenerate.completion_reap_cost(), degenerate.completion);
+    }
+
+    #[test]
+    fn modern_engine_is_faster_per_byte() {
+        let mut a = AddressAllocator::new();
+        let r = req(&mut a, 64 * 1024);
+        let legacy = DmaEngine::new(DmaConfig::default(), None);
+        let modern = DmaEngine::new(DmaConfig::modern_2026(), None);
+        assert!(modern.transfer_time(&r) < legacy.transfer_time(&r));
+        assert!(modern.total_cost(&r) < legacy.total_cost(&r));
+        // 100 ps/B ≈ 10 GB/s: 64 KB in ≈ 6.6 us of transfer time.
+        let us = modern.transfer_time(&r).as_micros_f64();
+        assert!((6.0..8.0).contains(&us), "64 KB transfer {us:.1} us");
     }
 
     #[test]

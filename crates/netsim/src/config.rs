@@ -9,8 +9,67 @@ pub const MTU_STANDARD: u64 = 1500;
 /// The paper's "jumbo" MTU for Case 4 (§4.3: "we increased the MTU-size to
 /// 2048 bytes").
 pub const MTU_JUMBO: u64 = 2048;
+/// Full 9000-byte jumbo frames, standard on post-10GbE fabrics — used by
+/// the 2026-class stack profile (`SocketOpts::modern_2026`).
+pub const MTU_MODERN: u64 = 9000;
 /// TCP + IP header bytes carried inside the MTU.
 pub const TCPIP_HEADERS: u64 = 40;
+
+/// How the receive path gets told about arriving frames — the stack-variant
+/// axis of the modern-offload ablation grid (`repro abl-modern`).
+///
+/// The 2007 testbed only had [`RxMode::Interrupt`] (with the NIC's ITR
+/// throttle) and optional coalescing; the other variants model the stacks
+/// that displaced it and attack the same per-packet costs I/OAT attacks
+/// from the other side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RxMode {
+    /// Interrupt per frame, subject only to the adapter's ITR minimum gap
+    /// — the 2007 default.
+    #[default]
+    Interrupt,
+    /// Hardware interrupt coalescing forced on: one interrupt per batch
+    /// (bounded by `coalesce_max_frames` / `coalesce_delay`), regardless
+    /// of the per-socket `coalescing` option.
+    Coalesced,
+    /// Busy-polling receive (NAPI-poll/`SO_BUSY_POLL` lineage): dedicated
+    /// polling cores reap frames as they land. No interrupt entry cost, no
+    /// coalescing delay, and no scheduler wake on delivery (the reader
+    /// spins); syscall and copy costs remain.
+    BusyPoll,
+    /// Kernel-bypass zero-copy (DPDK/io_uring-zc lineage): polling receive
+    /// *and* the NIC DMAs payload directly into user buffers, so there is
+    /// no process-context rx-copy at all — neither CPU nor copy-engine.
+    /// Headers are processed from a compact descriptor ring (same
+    /// confinement as split-header placement).
+    ZeroCopy,
+}
+
+impl RxMode {
+    /// Every variant, in ablation-grid sweep order.
+    pub const ALL: [RxMode; 4] = [
+        RxMode::Interrupt,
+        RxMode::Coalesced,
+        RxMode::BusyPoll,
+        RxMode::ZeroCopy,
+    ];
+
+    /// Short stable tag used in dotted row IDs (`abl.modern/10g/busypoll`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RxMode::Interrupt => "irq",
+            RxMode::Coalesced => "coalesce",
+            RxMode::BusyPoll => "busypoll",
+            RxMode::ZeroCopy => "zerocopy",
+        }
+    }
+
+    /// True for the polling variants (no interrupt cost).
+    pub fn is_polling(&self) -> bool {
+        matches!(self, RxMode::BusyPoll | RxMode::ZeroCopy)
+    }
+}
 
 /// Per-connection socket options — the knobs the paper sweeps as
 /// "Cases 1–5" in §4.3.
@@ -89,6 +148,23 @@ impl SocketOpts {
         Self::case5()
     }
 
+    /// Socket options for the 2026-class stack profile: 9000-byte jumbo
+    /// frames, 4 MB socket buffers, TSO and `sendfile` on, 64 KB reads.
+    /// `coalescing` stays *off* here — in the modern ablation the receive
+    /// notification strategy is governed by [`RxMode`], not the per-socket
+    /// flag.
+    pub fn modern_2026() -> Self {
+        SocketOpts {
+            sndbuf: 4 * 1024 * 1024,
+            rcvbuf: 4 * 1024 * 1024,
+            tso: true,
+            mtu: MTU_MODERN,
+            coalescing: false,
+            sendfile: true,
+            read_size: 64 * 1024,
+        }
+    }
+
     /// The five cases in sweep order, with their paper labels.
     pub fn all_cases() -> [(&'static str, SocketOpts); 5] {
         [
@@ -127,10 +203,15 @@ pub struct IoatConfig {
     /// ring, payload goes to separate buffers the CPU never touches during
     /// protocol processing.
     pub split_header: bool,
-    /// Multiple receive queues with flow affinity. The paper could not
-    /// evaluate this ("currently disabled in Linux"); we implement it for
-    /// the ablation bench.
+    /// Multiple receive queues with flow affinity (RSS). The paper could
+    /// not evaluate this ("currently disabled in Linux"); we implement it
+    /// as a core-count-aware model: one queue per core, flows steered by a
+    /// seed-stable hash of the connection id.
     pub multi_queue: bool,
+    /// Receive-notification stack variant (interrupt / coalesced /
+    /// busy-poll / kernel-bypass zero-copy). Defaults to
+    /// [`RxMode::Interrupt`], the paper's configuration.
+    pub rx_mode: RxMode,
 }
 
 impl IoatConfig {
@@ -155,7 +236,7 @@ impl IoatConfig {
         IoatConfig {
             dma_engine: true,
             split_header: true,
-            multi_queue: false,
+            ..Self::default()
         }
     }
 
@@ -163,25 +244,76 @@ impl IoatConfig {
     /// not measure.
     pub fn full_with_multi_queue() -> Self {
         IoatConfig {
-            dma_engine: true,
-            split_header: true,
             multi_queue: true,
+            ..Self::full()
         }
     }
 
-    /// True when any feature is on.
-    pub fn any(&self) -> bool {
-        self.dma_engine || self.split_header || self.multi_queue
+    /// The same feature set under a different receive-notification mode.
+    pub fn with_rx_mode(mut self, mode: RxMode) -> Self {
+        self.rx_mode = mode;
+        self
     }
 
-    /// Short label used in result tables.
+    /// The same feature set with multi-queue RSS forced on or off.
+    pub fn with_multi_queue(mut self, on: bool) -> Self {
+        self.multi_queue = on;
+        self
+    }
+
+    /// True when anything differs from the traditional 2007 baseline:
+    /// any I/OAT feature bit, or a non-default receive mode.
+    pub fn any(&self) -> bool {
+        self.dma_engine
+            || self.split_header
+            || self.multi_queue
+            || self.rx_mode != RxMode::Interrupt
+    }
+
+    /// Short label used in result tables. Exhaustive over every feature ×
+    /// rx-mode combination — no variant silently renders as a wrong or
+    /// catch-all label (`config::tests::labels_are_exhaustive_and_unique`
+    /// enumerates all of them).
     pub fn label(&self) -> &'static str {
-        match (self.dma_engine, self.split_header, self.multi_queue) {
-            (false, false, false) => "non-I/OAT",
-            (true, false, false) => "I/OAT-DMA",
-            (true, true, false) => "I/OAT",
-            (true, true, true) => "I/OAT+MQ",
-            _ => "I/OAT-custom",
+        use RxMode::*;
+        match (
+            self.rx_mode,
+            self.dma_engine,
+            self.split_header,
+            self.multi_queue,
+        ) {
+            (Interrupt, false, false, false) => "non-I/OAT",
+            (Interrupt, false, false, true) => "non-I/OAT+MQ",
+            (Interrupt, false, true, false) => "SPLIT-only",
+            (Interrupt, false, true, true) => "SPLIT-only+MQ",
+            (Interrupt, true, false, false) => "I/OAT-DMA",
+            (Interrupt, true, false, true) => "I/OAT-DMA+MQ",
+            (Interrupt, true, true, false) => "I/OAT",
+            (Interrupt, true, true, true) => "I/OAT+MQ",
+            (Coalesced, false, false, false) => "non-I/OAT/coalesce",
+            (Coalesced, false, false, true) => "non-I/OAT+MQ/coalesce",
+            (Coalesced, false, true, false) => "SPLIT-only/coalesce",
+            (Coalesced, false, true, true) => "SPLIT-only+MQ/coalesce",
+            (Coalesced, true, false, false) => "I/OAT-DMA/coalesce",
+            (Coalesced, true, false, true) => "I/OAT-DMA+MQ/coalesce",
+            (Coalesced, true, true, false) => "I/OAT/coalesce",
+            (Coalesced, true, true, true) => "I/OAT+MQ/coalesce",
+            (BusyPoll, false, false, false) => "non-I/OAT/busypoll",
+            (BusyPoll, false, false, true) => "non-I/OAT+MQ/busypoll",
+            (BusyPoll, false, true, false) => "SPLIT-only/busypoll",
+            (BusyPoll, false, true, true) => "SPLIT-only+MQ/busypoll",
+            (BusyPoll, true, false, false) => "I/OAT-DMA/busypoll",
+            (BusyPoll, true, false, true) => "I/OAT-DMA+MQ/busypoll",
+            (BusyPoll, true, true, false) => "I/OAT/busypoll",
+            (BusyPoll, true, true, true) => "I/OAT+MQ/busypoll",
+            (ZeroCopy, false, false, false) => "non-I/OAT/zerocopy",
+            (ZeroCopy, false, false, true) => "non-I/OAT+MQ/zerocopy",
+            (ZeroCopy, false, true, false) => "SPLIT-only/zerocopy",
+            (ZeroCopy, false, true, true) => "SPLIT-only+MQ/zerocopy",
+            (ZeroCopy, true, false, false) => "I/OAT-DMA/zerocopy",
+            (ZeroCopy, true, false, true) => "I/OAT-DMA+MQ/zerocopy",
+            (ZeroCopy, true, true, false) => "I/OAT/zerocopy",
+            (ZeroCopy, true, true, true) => "I/OAT+MQ/zerocopy",
         }
     }
 }
@@ -296,6 +428,36 @@ impl Default for StackParams {
     }
 }
 
+impl StackParams {
+    /// Cost parameters for a 2026-class host: ~3× cheaper per-packet
+    /// software costs (two decades of stack work — skb recycling, lockless
+    /// rings, GRO plumbing), DDR5-era copy bandwidth and a modern on-die
+    /// DMA engine. Relative structure is preserved — interrupts still
+    /// dwarf polling, cold lines still dwarf hot ones — so the model's
+    /// qualitative behaviors carry over; only the constants shrink.
+    pub fn modern_2026() -> Self {
+        StackParams {
+            proto_base: SimDuration::from_nanos(250),
+            irq_cost: SimDuration::from_nanos(700),
+            irq_per_frame: SimDuration::from_nanos(70),
+            syscall: SimDuration::from_nanos(250),
+            wake: SimDuration::from_nanos(500),
+            segment_cost: SimDuration::from_nanos(150),
+            tso_chunk_cost: SimDuration::from_nanos(500),
+            line_hit: SimDuration::from_nanos(2),
+            line_miss: SimDuration::from_nanos(65),
+            pollution_stall_per_frame: SimDuration::from_nanos(1_500),
+            copy: CopyParams::modern_2026(),
+            dma: DmaConfig::modern_2026(),
+            dma_min_bytes: 4096,
+            ack_cost: SimDuration::from_nanos(120),
+            coalesce_max_frames: 32,
+            coalesce_delay: SimDuration::from_micros(20),
+            ..Self::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +487,50 @@ mod tests {
         assert_eq!(IoatConfig::full_with_multi_queue().label(), "I/OAT+MQ");
         assert!(!IoatConfig::disabled().any());
         assert!(IoatConfig::full().any());
+        assert!(IoatConfig::disabled().with_rx_mode(RxMode::BusyPoll).any());
+        assert_eq!(
+            IoatConfig::full().with_rx_mode(RxMode::ZeroCopy).label(),
+            "I/OAT/zerocopy"
+        );
+    }
+
+    #[test]
+    fn labels_are_exhaustive_and_unique() {
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
+        for rx_mode in RxMode::ALL {
+            for bits in 0u8..8 {
+                let cfg = IoatConfig {
+                    dma_engine: bits & 1 != 0,
+                    split_header: bits & 2 != 0,
+                    multi_queue: bits & 4 != 0,
+                    rx_mode,
+                };
+                let label = cfg.label();
+                assert!(!label.is_empty() && !label.contains("custom"), "{label}");
+                assert!(seen.insert(label), "duplicate label {label} for {cfg:?}");
+                // `any()` is false only for the single all-default config.
+                assert_eq!(cfg.any(), cfg != IoatConfig::default());
+            }
+        }
+        assert_eq!(seen.len(), 32);
+        // Tags are unique too (they feed dotted row IDs).
+        let tags: BTreeSet<_> = RxMode::ALL.iter().map(|m| m.tag()).collect();
+        assert_eq!(tags.len(), RxMode::ALL.len());
+    }
+
+    #[test]
+    fn modern_profile_is_cheaper_across_the_board() {
+        let old = StackParams::default();
+        let new = StackParams::modern_2026();
+        assert!(new.proto_base < old.proto_base);
+        assert!(new.irq_cost < old.irq_cost);
+        assert!(new.wake < old.wake);
+        assert!(new.copy.miss_per_line < old.copy.miss_per_line);
+        assert!(new.dma.transfer_ps_per_byte < old.dma.transfer_ps_per_byte);
+        assert!(new.dma.completion_batch > 1);
+        assert_eq!(SocketOpts::modern_2026().mtu, MTU_MODERN);
+        assert!(!SocketOpts::modern_2026().coalescing);
     }
 
     #[test]

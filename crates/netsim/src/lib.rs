@@ -33,7 +33,7 @@ pub mod socket;
 pub mod stack;
 pub mod tcp;
 
-pub use config::{IoatConfig, SocketOpts, StackParams};
+pub use config::{IoatConfig, RxMode, SocketOpts, StackParams};
 pub use link::{DuplexLink, Link};
 pub use msg::MsgSender;
 pub use nic::{Frame, FRAME_OVERHEAD};

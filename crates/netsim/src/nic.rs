@@ -64,6 +64,9 @@ pub enum CoalesceAction {
 #[derive(Debug, Clone)]
 pub struct RxCoalescer {
     enabled: bool,
+    /// Polling receive (busy-poll / kernel-bypass): every frame is picked
+    /// up immediately — no coalescing delay and no interrupt throttling.
+    polling: bool,
     max_frames: u32,
     delay: SimDuration,
     pending: u32,
@@ -80,6 +83,7 @@ impl RxCoalescer {
         assert!(max_frames > 0, "coalescing batch must be at least 1 frame");
         RxCoalescer {
             enabled,
+            polling: false,
             max_frames,
             delay,
             pending: 0,
@@ -90,31 +94,52 @@ impl RxCoalescer {
         }
     }
 
+    /// Creates a polling-mode coalescer: a dedicated polling core reaps
+    /// every frame as it lands, so there is no delay timer and no ITR
+    /// throttle — `on_frame` always answers [`CoalesceAction::RaiseNow`].
+    pub fn polling() -> Self {
+        RxCoalescer {
+            polling: true,
+            ..Self::new(false, 1, SimDuration::ZERO)
+        }
+    }
+
     /// Registers an arriving frame and decides what to do.
     pub fn on_frame(&mut self, now: SimTime) -> CoalesceAction {
         self.frames_seen += 1;
         self.pending += 1;
+        if self.polling {
+            return CoalesceAction::RaiseNow;
+        }
+        if self.enabled {
+            // The full-batch check must run even while the delay timer is
+            // armed — the timer arms on the *first* frame of a batch, so
+            // every batch that fills up does so with the timer armed.
+            // (Checking `timer_armed` first made this branch dead code and
+            // batches grew without bound at high link rates.) The raise
+            // drains the batch; the still-scheduled timer later finds
+            // whatever a subsequent partial batch accumulated, or nothing.
+            if self.pending >= self.max_frames {
+                return CoalesceAction::RaiseNow;
+            }
+            if self.timer_armed {
+                return CoalesceAction::Accumulate;
+            }
+            self.timer_armed = true;
+            return CoalesceAction::ArmTimer(self.delay);
+        }
         if self.timer_armed {
             return CoalesceAction::Accumulate;
         }
-        if !self.enabled {
-            // Interrupt throttling only: raise immediately unless the
-            // last interrupt was too recent.
-            return match self.last_raise {
-                Some(last) if now < last + ITR_MIN_GAP => {
-                    self.timer_armed = true;
-                    CoalesceAction::ArmTimer((last + ITR_MIN_GAP) - now)
-                }
-                _ => CoalesceAction::RaiseNow,
-            };
+        // Interrupt throttling only: raise immediately unless the
+        // last interrupt was too recent.
+        match self.last_raise {
+            Some(last) if now < last + ITR_MIN_GAP => {
+                self.timer_armed = true;
+                CoalesceAction::ArmTimer((last + ITR_MIN_GAP) - now)
+            }
+            _ => CoalesceAction::RaiseNow,
         }
-        if self.pending >= self.max_frames {
-            // Batch is full: fire immediately; a still-armed timer will
-            // find an empty batch and do nothing.
-            return CoalesceAction::RaiseNow;
-        }
-        self.timer_armed = true;
-        CoalesceAction::ArmTimer(self.delay)
     }
 
     /// The coalescing timer fired. Returns `true` if there is a batch to
@@ -203,14 +228,22 @@ mod tests {
 
     #[test]
     fn full_batch_preempts_timer() {
+        // Regression for the coalescing tail-flush bug: the timer arms on
+        // the first frame of every batch, so the old `timer_armed` early
+        // return made the max-frames check unreachable and batches grew
+        // without bound at high link rates.
         let mut c = RxCoalescer::new(true, 3, SimDuration::from_micros(30));
-        c.on_frame(SimTime::ZERO);
-        // Timer armed by the first frame; batch filling does not re-arm.
+        assert!(matches!(
+            c.on_frame(SimTime::ZERO),
+            CoalesceAction::ArmTimer(_)
+        ));
         assert_eq!(c.on_frame(SimTime::ZERO), CoalesceAction::Accumulate);
-        assert_eq!(c.on_frame(SimTime::ZERO), CoalesceAction::Accumulate);
-        assert_eq!(c.pending(), 3);
-        assert!(c.on_timer());
+        // Third frame fills the batch while the timer is armed: it must
+        // fire immediately, not wait out the delay.
+        assert_eq!(c.on_frame(SimTime::ZERO), CoalesceAction::RaiseNow);
         assert_eq!(c.take_batch(SimTime::ZERO), 3);
+        // The stale timer finds an empty batch and does nothing.
+        assert!(!c.on_timer());
         // Next frame re-arms a fresh timer.
         assert!(matches!(
             c.on_frame(SimTime::ZERO),
@@ -219,17 +252,45 @@ mod tests {
     }
 
     #[test]
-    fn full_batch_raises_before_timer_when_not_first() {
+    fn stale_timer_flushes_a_partial_tail_batch() {
+        // A full batch preempts the timer, then a stream's *final* frames
+        // arrive — fewer than max_frames. The delayed interrupt must still
+        // fire for them (the held-partial-batch hazard): either the stale
+        // first timer or the freshly armed one flushes the tail.
         let mut c = RxCoalescer::new(true, 2, SimDuration::from_micros(30));
         assert!(matches!(
             c.on_frame(SimTime::ZERO),
             CoalesceAction::ArmTimer(_)
         ));
-        // Second frame fills the max while the timer is armed: it
-        // accumulates (the timer will flush it).
-        assert_eq!(c.on_frame(SimTime::ZERO), CoalesceAction::Accumulate);
-        assert!(c.on_timer());
+        assert_eq!(c.on_frame(SimTime::ZERO), CoalesceAction::RaiseNow);
         assert_eq!(c.take_batch(SimTime::ZERO), 2);
+        // Tail frame (e.g. the frame that would have completed the next
+        // batch was dropped by a fault): a new timer arms...
+        assert!(matches!(
+            c.on_frame(SimTime::ZERO),
+            CoalesceAction::ArmTimer(_)
+        ));
+        // ...and the stale timer from the preempted batch fires first,
+        // flushing the partial tail early. No frame is ever held forever.
+        assert!(c.on_timer(), "stale timer flushes the 1-frame tail");
+        assert_eq!(c.take_batch(SimTime::from_micros(30)), 1);
+        // The fresh timer then finds nothing.
+        assert!(!c.on_timer());
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn polling_mode_reaps_every_frame_immediately() {
+        let mut c = RxCoalescer::polling();
+        for i in 0..5u64 {
+            // Back-to-back arrivals well inside the ITR gap: polling has
+            // neither a delay timer nor an interrupt throttle.
+            let now = SimTime::from_micros(i);
+            assert_eq!(c.on_frame(now), CoalesceAction::RaiseNow);
+            assert_eq!(c.take_batch(now), 1);
+        }
+        assert_eq!(c.frames_seen(), 5);
+        assert_eq!(c.interrupts_raised(), 5);
     }
 
     #[test]

@@ -45,7 +45,7 @@ proptest! {
         dma in any::<bool>(),
         split in any::<bool>(),
     ) {
-        let ioat = IoatConfig { dma_engine: dma, split_header: split, multi_queue: false };
+        let ioat = IoatConfig { dma_engine: dma, split_header: split, ..IoatConfig::default() };
         let mut sim = Sim::new();
         sim.set_event_limit(80_000_000);
         let a = HostStack::new("a", 4, StackParams::default(), ioat);

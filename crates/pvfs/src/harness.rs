@@ -70,6 +70,10 @@ pub struct PvfsConfig {
     /// over the node's least-loaded cores — kept for differential
     /// testing ([`PvfsConfig::legacy_threading`]).
     pub single_threaded: bool,
+    /// Per-port line rate (the paper's testbed: 1 GbE).
+    pub link: ioat_simcore::time::Bandwidth,
+    /// Hardware era both nodes are calibrated against.
+    pub profile: ioat_core::calibration::NodeProfile,
 }
 
 impl PvfsConfig {
@@ -88,6 +92,8 @@ impl PvfsConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             single_threaded: true,
+            link: ioat_core::calibration::port_bandwidth(),
+            profile: ioat_core::calibration::NodeProfile::Testbed2007,
         }
     }
 
@@ -111,7 +117,21 @@ impl PvfsConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             single_threaded: true,
+            link: ioat_core::calibration::port_bandwidth(),
+            profile: ioat_core::calibration::NodeProfile::Testbed2007,
         }
+    }
+
+    /// The same run shape at a different line rate and hardware era —
+    /// the PVFS cell of the modern-offload ablation.
+    pub fn with_link(
+        mut self,
+        link: ioat_simcore::time::Bandwidth,
+        profile: ioat_core::calibration::NodeProfile,
+    ) -> Self {
+        self.link = link;
+        self.profile = profile;
+        self
     }
 
     /// Switches to the legacy per-connection threading model (the
@@ -179,8 +199,9 @@ fn run_traced_modes(
     // node (1), the clients' own failover view on the compute node (0).
     let server_faults = FaultInjector::new(&cfg.faults, 1);
     let client_faults = FaultInjector::new(&cfg.faults, 0);
-    let compute = cluster.add_node(NodeConfig::testbed("compute", cfg.ioat));
-    let server = cluster.add_node(NodeConfig::testbed("io-server", cfg.ioat));
+    cluster.set_bandwidth(cfg.link);
+    let compute = cluster.add_node(NodeConfig::profiled("compute", cfg.ioat, cfg.profile));
+    let server = cluster.add_node(NodeConfig::profiled("io-server", cfg.ioat, cfg.profile));
     let opts = SocketOpts::tuned();
     let pairs = cluster.connect_ports(compute, server, cfg.io_servers, opts.coalescing);
 

@@ -37,6 +37,15 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The splitmix64 finalizer as a standalone function: a seed-stable,
+/// machine-independent 64-bit mix for model-level steering decisions
+/// (e.g. RSS flow→queue placement) that must not depend on arrival
+/// interleaving, iteration order, or the process hash key.
+#[inline]
+pub fn stable_mix(x: u64) -> u64 {
+    mix(x)
+}
+
 impl Hasher for FastHasher {
     #[inline]
     fn finish(&self) -> u64 {

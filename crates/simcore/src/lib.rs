@@ -42,7 +42,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{EventId, Sim};
-pub use hash::{FastHashMap, FastHashSet};
+pub use hash::{stable_mix, FastHashMap, FastHashSet};
 pub use resource::{Resource, ResourceRef, UtilizationMeter};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, RateMeter, Summary};

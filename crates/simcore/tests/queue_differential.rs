@@ -399,3 +399,101 @@ fn run_before_leaves_window_edge_events_queued() {
     assert_eq!(*log.borrow(), reference.log);
     assert_eq!(sim.now(), SimTime::from_nanos(20));
 }
+
+#[test]
+fn coalescer_preempt_pattern_matches_reference() {
+    // The rx-coalescer preempt pattern from `ioat-netsim` (the PR 9
+    // tail-flush fix): a timer is armed, a full batch preempts it —
+    // cancel the armed handle, schedule an immediate (delay-0) flush at
+    // the *current* instant, then re-arm a fresh timer at the same
+    // relative delay. Cancel and re-schedule collide on the same
+    // timestamps constantly; both engines must agree on cancel
+    // outcomes, FIFO order of the same-instant survivors, and clocks.
+    for seed in [21, 42, 0xC0A1] {
+        let mut rng = XorShift::new(seed);
+        let mut reference = RefEngine::new();
+        let mut sim = Sim::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let handles: Rc<RefCell<Vec<ioat_simcore::EventId>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut next_tag = 0u64;
+        // Index (into the shared handle list) of the armed timer, if any.
+        let mut armed: Option<usize> = None;
+
+        for step in 0..600 {
+            match rng.below(8) {
+                // Arm: one pending timer at a tiny delay.
+                0..=2 => {
+                    if armed.is_none() {
+                        let delay = rng.below(8);
+                        reference.schedule(delay, next_tag, None);
+                        schedule_real(&mut sim, delay, next_tag, None, &log, &handles);
+                        next_tag += 1;
+                        armed = Some(handles.borrow().len() - 1);
+                    }
+                }
+                // Preempt: cancel the timer, flush now (delay 0), re-arm
+                // at the same relative delay — three operations at one
+                // instant, the RaiseNow path of the coalescer.
+                3..=5 => {
+                    if let Some(i) = armed.take() {
+                        let id = handles.borrow()[i];
+                        let want = reference.cancel(i);
+                        let got = sim.cancel(id);
+                        assert_eq!(got, want, "seed {seed} step {step}: preempt cancel");
+                        reference.schedule(0, next_tag, None);
+                        schedule_real(&mut sim, 0, next_tag, None, &log, &handles);
+                        next_tag += 1;
+                        let delay = rng.below(8);
+                        reference.schedule(delay, next_tag, None);
+                        schedule_real(&mut sim, delay, next_tag, None, &log, &handles);
+                        next_tag += 1;
+                        armed = Some(handles.borrow().len() - 1);
+                    }
+                }
+                // Advance: short inclusive or exclusive-edge windows; a
+                // fired timer is no longer armed.
+                _ => {
+                    let window = rng.below(12);
+                    let limit = reference.now + window;
+                    if rng.below(2) == 0 {
+                        reference.run_until(limit);
+                        sim.run_until(SimTime::from_nanos(limit));
+                    } else {
+                        reference.run_before(limit);
+                        sim.run_before(SimTime::from_nanos(limit));
+                    }
+                    if let Some(i) = armed {
+                        let id = handles.borrow()[i];
+                        // Probe without perturbing: a fired timer cannot
+                        // be cancelled in either engine.
+                        let fired = reference.events[reference.handles[i]].fired;
+                        if fired {
+                            assert!(!sim.cancel(id), "seed {seed} step {step}: fired probe");
+                            assert!(!reference.cancel(i));
+                            armed = None;
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                sim.next_event_at().map(|t| t.as_nanos()),
+                reference.next_event_at(),
+                "seed {seed} step {step}: next_event_at"
+            );
+            assert_eq!(
+                sim.events_pending(),
+                reference.pending(),
+                "seed {seed} step {step}"
+            );
+            assert_eq!(
+                *log.borrow(),
+                reference.log,
+                "seed {seed} step {step}: order"
+            );
+        }
+        let limit = reference.now + 1_000;
+        reference.run_until(limit);
+        sim.run_until(SimTime::from_nanos(limit));
+        assert_eq!(*log.borrow(), reference.log, "seed {seed}: final order");
+    }
+}
