@@ -104,6 +104,10 @@ const TARGETS: &[(&str, &str)] = &[
         "Ablation A4 slice: PVFS concurrent-read workload only",
     ),
     (
+        "abl-fabric-faults",
+        "Ablation A5: fabric faults, flaps x crashed switches",
+    ),
+    (
         "fig_fabric",
         "Fabric: fat-tree datacenter TPS, hosts x oversubscription",
     ),

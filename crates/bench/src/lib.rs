@@ -1072,6 +1072,119 @@ pub fn fig_fabric_points(
     fig
 }
 
+/// Ablation A5 — the fabric fault domain at datacenter scale.
+///
+/// Sweeps link-flap count × crashed-switch count over the `fig_fabric`
+/// fat-tree(16) with I/OAT off/on. Every cell runs with the overload
+/// protections armed — a proxy admission budget and hedged retries — so
+/// the table reports not just degradation (TPS/p99 under faults) but the
+/// recovery machinery at work: ECMP failover, shed load, hedge wins.
+/// The flap schedules are prefix-supersets (f2's windows are a prefix of
+/// f8's), so blackhole counts are structurally monotone in flap count.
+pub fn abl_fabric_faults(
+    window: ExperimentWindow,
+    jobs: usize,
+    sim_threads: usize,
+) -> FigureResult {
+    let quick = window.measure <= ExperimentWindow::quick().measure;
+    let clients = if quick { 10_240 } else { 102_400 };
+    let grid: Vec<(u32, u32)> = vec![(0, 0), (2, 0), (8, 0), (0, 2), (2, 2), (8, 2)];
+    abl_fabric_faults_points(16, clients, grid, window, jobs, sim_threads)
+}
+
+/// The `abl-fabric-faults` sweep over an explicit topology size and
+/// `(flaps_per_link, crashed_switches)` grid. The determinism suite
+/// drives this with a miniature fat-tree (debug builds cannot afford
+/// 1024-host sweeps); [`abl_fabric_faults`] is exactly this with the
+/// standard grid.
+pub fn abl_fabric_faults_points(
+    k: usize,
+    clients: usize,
+    grid: Vec<(u32, u32)>,
+    window: ExperimentWindow,
+    jobs: usize,
+    sim_threads: usize,
+) -> FigureResult {
+    use ioat_datacenter::scale::FabricFaultSpec;
+    use ioat_faults::RetryPolicy;
+    use ioat_simcore::SimDuration;
+
+    let sim_threads = sim_threads.max(1);
+    // Hedge deadline tracks the window so quick smokes still hedge: a
+    // tenth of the measurement span, floored at 1 ms.
+    let hedge = RetryPolicy {
+        timeout: SimDuration::from_nanos((window.measure.as_nanos() / 10).max(1_000_000)),
+        max_retries: 2,
+        backoff: 2.0,
+    };
+    let results = sweep::run_jobs(
+        grid.into_iter()
+            .map(|(flaps, crashed)| {
+                move || {
+                    let mut non_cfg =
+                        ScaleConfig::fat_tree(k, 1.0, clients, IoatConfig::disabled());
+                    non_cfg.window = window;
+                    non_cfg.faults = FabricFaultSpec {
+                        flaps_per_link: flaps,
+                        crashed_switches: crashed,
+                        ..FabricFaultSpec::none()
+                    };
+                    non_cfg.admit_budget = Some(32);
+                    non_cfg.hedge = Some(hedge);
+                    let mut ioat_cfg = non_cfg;
+                    ioat_cfg.ioat = IoatConfig::full();
+                    let (non, non_rep) = run_partitioned(&non_cfg, sim_threads);
+                    let (ioat, ioat_rep) = run_partitioned(&ioat_cfg, sim_threads);
+                    let label = format!("abl.fabfault/f{flaps}c{crashed}");
+                    let row = Row {
+                        label: label.clone(),
+                        non_ioat: non.tps,
+                        ioat: ioat.tps,
+                        non_cpu: non.proxy_cpu,
+                        ioat_cpu: ioat.proxy_cpu,
+                    };
+                    let note = format!(
+                        "  f{flaps} c{crashed}: p99 {:>7}/{:>7} us  blackholes {:>7}  \
+                         shed {:>6}  hedges {:>6}",
+                        non.latency_p99_us,
+                        ioat.latency_p99_us,
+                        non.route_blackholes + ioat.route_blackholes,
+                        non.shed + ioat.shed,
+                        non.hedges + ioat.hedges,
+                    );
+                    let parsim: Vec<ParsimStats> = [("non", &non_rep), ("ioat", &ioat_rep)]
+                        .into_iter()
+                        .map(|(suffix, rep)| ParsimStats {
+                            label: format!("{label} {suffix}"),
+                            partitions: rep.partitions,
+                            rounds: rep.rounds,
+                            mean_window_ns: rep.mean_window_ns(),
+                            events: rep.events.clone(),
+                        })
+                        .collect();
+                    (row, note, non.sim_events + ioat.sim_events, parsim)
+                }
+            })
+            .collect::<Vec<_>>(),
+        jobs,
+    );
+    let mut fig = FigureResult::new(
+        "abl-fabric-faults",
+        "Ablation A5: fabric faults, flaps x crashed switches, protection armed",
+        "TPS",
+        FigureRows::Compare(Vec::with_capacity(results.len())),
+    );
+    for (row, note, events, parsim) in results {
+        if let FigureRows::Compare(rows) = &mut fig.rows {
+            rows.push(row);
+        }
+        fig.notes.push(note);
+        fig.sim_events += events;
+        fig.parsim.extend(parsim);
+    }
+    fig
+}
+
 /// Peak resident set size of this process in bytes (Linux `VmHWM`), or
 /// `None` where `/proc/self/status` is unavailable. Monotone over the
 /// process lifetime — a per-figure reading is "the high-water mark so
@@ -1142,6 +1255,7 @@ pub fn run_figure(
         "abl-modern-pvfs" => {
             modern::ablation_modern_slice(modern::ModernWorkload::Pvfs, window, jobs, sim_threads)
         }
+        "abl-fabric-faults" => abl_fabric_faults(window, jobs, sim_threads),
         "fig_fabric" => fig_fabric(window, jobs, sim_threads),
         _ => return None,
     };
@@ -1453,6 +1567,27 @@ mod tests {
             fig.notes.iter().any(|n| n.contains("failover")),
             "A3b summary rides in the notes"
         );
+    }
+
+    #[test]
+    fn abl_fabric_faults_mini_grid_reports_rows_and_recovery_notes() {
+        // Mini fat-tree(4) stand-in for the release-scale grid: stable
+        // dotted row ids, per-cell recovery notes, and partitioned-engine
+        // telemetry all present.
+        let fig =
+            abl_fabric_faults_points(4, 96, vec![(0, 0), (6, 2)], ExperimentWindow::quick(), 2, 1);
+        let rows = fig.compare_rows().expect("compare table");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "abl.fabfault/f0c0");
+        assert_eq!(rows[1].label, "abl.fabfault/f6c2");
+        assert!(rows.iter().all(|r| r.non_ioat > 0.0 && r.ioat > 0.0));
+        assert!(
+            fig.notes.iter().all(|n| n.contains("blackholes")),
+            "every cell records its recovery counters: {:?}",
+            fig.notes
+        );
+        assert!(!fig.parsim.is_empty(), "dc cells report engine telemetry");
+        assert!(fig.sim_events > 0);
     }
 
     #[test]

@@ -92,7 +92,26 @@ fn is_quick(window: ExperimentWindow) -> bool {
     window.measure <= ExperimentWindow::quick().measure
 }
 
-fn cell_mstream(window: ExperimentWindow, gbps: u64, mode: RxMode) -> Row {
+/// The "cores you could reclaim" note for a polling cell: occupancy
+/// counts the spin loop, utilization counts only work, and the gap is
+/// capacity polling burns. Only polling cells have a gap worth printing.
+fn occupancy_note(label: &str, non: (f64, f64), ioat: (f64, f64)) -> Option<String> {
+    let gap = (non.1 - non.0).max(ioat.1 - ioat.0);
+    if gap <= 0.01 {
+        return None;
+    }
+    Some(format!(
+        "  {label}: rx occupancy {:.0}%/{:.0}% vs useful cpu {:.0}%/{:.0}% \
+         (non/ioat) — the gap is cores burned spinning, reclaimable by \
+         irq or i/oat rx",
+        non.1 * 100.0,
+        ioat.1 * 100.0,
+        non.0 * 100.0,
+        ioat.0 * 100.0,
+    ))
+}
+
+fn cell_mstream(window: ExperimentWindow, gbps: u64, mode: RxMode) -> (Row, Vec<String>) {
     let mut cfg = if is_quick(window) {
         MultiStreamConfig::quick_test(4)
     } else {
@@ -107,13 +126,24 @@ fn cell_mstream(window: ExperimentWindow, gbps: u64, mode: RxMode) -> Row {
     let (non_io, ioat_io) = cell_pair(mode);
     let non = multistream::run(&cfg, non_io);
     let ioat = multistream::run(&cfg, ioat_io);
-    Row {
-        label: row_id(ModernWorkload::MultiStream, gbps, mode),
-        non_ioat: non.mbps,
-        ioat: ioat.mbps,
-        non_cpu: non.rx_cpu,
-        ioat_cpu: ioat.rx_cpu,
-    }
+    let label = row_id(ModernWorkload::MultiStream, gbps, mode);
+    let notes = occupancy_note(
+        &label,
+        (non.rx_cpu, non.rx_occupancy),
+        (ioat.rx_cpu, ioat.rx_occupancy),
+    )
+    .into_iter()
+    .collect();
+    (
+        Row {
+            label,
+            non_ioat: non.mbps,
+            ioat: ioat.mbps,
+            non_cpu: non.rx_cpu,
+            ioat_cpu: ioat.rx_cpu,
+        },
+        notes,
+    )
 }
 
 fn cell_pvfs(window: ExperimentWindow, gbps: u64, mode: RxMode) -> Row {
@@ -140,7 +170,7 @@ fn cell_dc(
     gbps: u64,
     mode: RxMode,
     sim_threads: usize,
-) -> (Row, u64, Vec<ParsimStats>) {
+) -> (Row, Vec<String>, u64, Vec<ParsimStats>) {
     let mk = |io: IoatConfig| {
         let mut cfg = if is_quick(window) {
             ScaleConfig::quick_test(io)
@@ -160,6 +190,13 @@ fn cell_dc(
     let (non, non_rep) = run_partitioned(&mk(non_io), sim_threads);
     let (ioat, ioat_rep) = run_partitioned(&mk(ioat_io), sim_threads);
     let label = row_id(ModernWorkload::DataCenter, gbps, mode);
+    let notes = occupancy_note(
+        &label,
+        (non.proxy_cpu, non.proxy_occupancy),
+        (ioat.proxy_cpu, ioat.proxy_occupancy),
+    )
+    .into_iter()
+    .collect();
     let row = Row {
         label: label.clone(),
         non_ioat: non.tps,
@@ -177,7 +214,7 @@ fn cell_dc(
             events: rep.events.clone(),
         })
         .collect();
-    (row, non.sim_events + ioat.sim_events, parsim)
+    (row, notes, non.sim_events + ioat.sim_events, parsim)
 }
 
 /// The per-workload verdict line: compares the I/OAT relative CPU
@@ -291,10 +328,13 @@ pub fn ablation_modern_points(
             .map(|(wl, gbps, mode)| {
                 move || match wl {
                     ModernWorkload::MultiStream => {
-                        (cell_mstream(window, gbps, mode), 0, Vec::new())
+                        let (row, notes) = cell_mstream(window, gbps, mode);
+                        (row, notes, 0, Vec::new())
                     }
                     ModernWorkload::DataCenter => cell_dc(window, gbps, mode, sim_threads),
-                    ModernWorkload::Pvfs => (cell_pvfs(window, gbps, mode), 0, Vec::new()),
+                    ModernWorkload::Pvfs => {
+                        (cell_pvfs(window, gbps, mode), Vec::new(), 0, Vec::new())
+                    }
                 }
             })
             .collect::<Vec<_>>(),
@@ -306,10 +346,11 @@ pub fn ablation_modern_points(
         "mixed",
         FigureRows::Compare(Vec::with_capacity(results.len())),
     );
-    for (row, events, parsim) in results {
+    for (row, notes, events, parsim) in results {
         if let FigureRows::Compare(rows) = &mut fig.rows {
             rows.push(row);
         }
+        fig.notes.extend(notes);
         fig.sim_events += events;
         fig.parsim.extend(parsim);
     }
@@ -384,18 +425,36 @@ mod tests {
     fn zero_copy_cells_have_no_ioat_delta_by_construction() {
         // Under kernel-bypass rx the engine is unused and split headers
         // are a no-op, so both grid cells are the same simulation.
-        let row = cell_mstream(ExperimentWindow::quick(), 40, RxMode::ZeroCopy);
+        let (row, _) = cell_mstream(ExperimentWindow::quick(), 40, RxMode::ZeroCopy);
         assert_eq!(row.non_ioat, row.ioat, "throughput must be identical");
         assert_eq!(row.non_cpu, row.ioat_cpu, "CPU must be identical");
     }
 
     #[test]
     fn mstream_grid_cell_shows_ioat_benefit_at_1g_irq() {
-        let row = cell_mstream(ExperimentWindow::quick(), 1, RxMode::Interrupt);
+        let (row, _) = cell_mstream(ExperimentWindow::quick(), 1, RxMode::Interrupt);
         assert!(
             row.cpu_benefit() > 0.0,
             "classic rx at 1 GbE should still favor I/OAT, got {:.3}",
             row.cpu_benefit()
+        );
+    }
+
+    #[test]
+    fn busy_poll_cells_report_the_spin_occupancy_gap() {
+        let (_, notes) = cell_mstream(ExperimentWindow::quick(), 10, RxMode::BusyPoll);
+        assert!(
+            !notes.is_empty(),
+            "a busy-poll cell must note its occupancy/utilization gap"
+        );
+        assert!(
+            notes[0].contains("occupancy"),
+            "note names the gap: {notes:?}"
+        );
+        let (_, irq_notes) = cell_mstream(ExperimentWindow::quick(), 10, RxMode::Interrupt);
+        assert!(
+            irq_notes.is_empty(),
+            "interrupt rx does not spin, so no gap to report: {irq_notes:?}"
         );
     }
 }

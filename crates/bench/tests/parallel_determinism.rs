@@ -210,6 +210,57 @@ fn fig_fabric_json_identical_across_sim_threads() {
     assert!(doc.contains("\"mean_window_ns\": "));
 }
 
+/// The fault-ablation grid used by the determinism pins below: one clean
+/// cell and one heavily faulted cell (6 flaps per link + 2 crashed
+/// switches) on the same mini fat-tree the fabric tests use. Faults,
+/// admission control and hedged retries are all active in the faulted
+/// cell, so these pins cover the PR 10 acceptance criterion: rows must be
+/// bit-identical across worker counts *with the fault machinery firing*.
+fn fabfault_mini_grid() -> Vec<(u32, u32)> {
+    vec![(0, 0), (6, 2)]
+}
+
+#[test]
+fn abl_fabric_faults_rows_identical_across_jobs() {
+    let w = ExperimentWindow::quick();
+    let seq = figs::abl_fabric_faults_points(4, 96, fabfault_mini_grid(), w, 1, 1);
+    let par = figs::abl_fabric_faults_points(4, 96, fabfault_mini_grid(), w, 8, 1);
+    assert_eq!(
+        seq.rows, par.rows,
+        "faulted rows must be bit-identical at --jobs 1 and --jobs 8"
+    );
+    assert_eq!(seq.notes, par.notes, "recovery-counter notes must match");
+    assert_eq!(seq.sim_events, par.sim_events);
+    assert_eq!(seq.parsim, par.parsim);
+    assert!(!seq.rows.is_empty());
+}
+
+#[test]
+fn abl_fabric_faults_rows_identical_across_sim_threads() {
+    // Failover re-hashing, blackholed frames, shed requests and hedge
+    // timers all live inside the partitions — none of it may observe the
+    // worker count.
+    let w = ExperimentWindow::quick();
+    let t1 = figs::abl_fabric_faults_points(4, 96, fabfault_mini_grid(), w, 1, 1);
+    let t4 = figs::abl_fabric_faults_points(4, 96, fabfault_mini_grid(), w, 1, 4);
+    assert_eq!(
+        t1.rows, t4.rows,
+        "faulted rows must be bit-identical at --sim-threads 1 and 4"
+    );
+    assert_eq!(t1.notes, t4.notes);
+    assert_eq!(t1.sim_events, t4.sim_events);
+    assert_eq!(t1.parsim, t4.parsim);
+    let blackholes: &str = t1
+        .notes
+        .iter()
+        .find(|n| n.contains("f6 c2"))
+        .expect("the faulted cell records a note");
+    assert!(
+        blackholes.contains("blackholes"),
+        "the faulted cell reports its recovery counters: {blackholes}"
+    );
+}
+
 #[test]
 fn json_report_identical_across_jobs_modulo_wall_clock() {
     // The committed BENCH_*.json must be diffable across PRs: with the

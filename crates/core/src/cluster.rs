@@ -134,6 +134,11 @@ impl Cluster {
     /// Panics if a fabric is already installed.
     pub fn install_fabric(&mut self, spec: TopologySpec, params: FabricParams) -> FabricRef {
         assert!(self.fabric.is_none(), "fabric already installed");
+        assert!(
+            !self.faults.has_fabric_faults(),
+            "install the fabric before the fault plan: the installed plan \
+             has fabric faults the new fabric would silently miss"
+        );
         let fabric = Fabric::new(spec, params);
         self.fabric = Some(Rc::clone(&fabric));
         fabric
@@ -227,12 +232,21 @@ impl Cluster {
 
     /// Installs a fault plan: every node already added (and every node
     /// added afterwards) gets a [`FaultInjector`] for it, keyed by the
-    /// node's index. Installing [`FaultPlan::none()`] (the default) keeps
-    /// every hook inert and runs bit-identical to a fault-free build.
+    /// node's index, and an installed fabric receives the plan's
+    /// link-flap and switch-crash entries. Installing [`FaultPlan::none()`]
+    /// (the default) keeps every hook inert and runs bit-identical to a
+    /// fault-free build.
+    ///
+    /// Install the fabric before the plan — a fabric installed afterwards
+    /// would silently miss the fabric-facing entries, so that order is
+    /// rejected by [`Cluster::install_fabric`].
     pub fn set_faults(&mut self, plan: &FaultPlan) {
         for (i, node) in self.nodes.iter().enumerate() {
             node.borrow_mut()
                 .set_fault_injector(FaultInjector::new(plan, i as u32));
+        }
+        if let Some(fabric) = &self.fabric {
+            fabric.set_faults(plan);
         }
         self.faults = plan.clone();
     }
@@ -302,6 +316,7 @@ impl Cluster {
         if let Some(fabric) = &self.fabric {
             reg.add("fabric.forwarded", fabric.forwarded());
             reg.add("fabric.tail_drops", fabric.tail_drops());
+            reg.add("fabric.route_blackholes", fabric.blackholes());
             reg.set_gauge("fabric.peak_buffer_bytes", fabric.peak_occupancy() as f64);
         }
         reg
@@ -435,13 +450,19 @@ impl Cluster {
             node.borrow().audit(now);
         }
         let quiescent = self.sim.events_pending() == 0;
-        let switch_dropped = if let Some(fabric) = &self.fabric {
+        let (switch_dropped, route_blackholed) = if let Some(fabric) = &self.fabric {
             fabric.audit(now, quiescent);
-            fabric.tail_drops()
+            (fabric.tail_drops(), fabric.blackholes())
         } else {
-            0
+            (0, 0)
         };
-        stack::audit_cluster_conservation_ext(&self.nodes, switch_dropped, now, quiescent);
+        stack::audit_cluster_conservation_ext(
+            &self.nodes,
+            switch_dropped,
+            route_blackholed,
+            now,
+            quiescent,
+        );
         if self.tracer.records(Category::Audit) {
             for v in ioat_guard::violations_since(before) {
                 // Event names must be `'static`; the invariant name is,

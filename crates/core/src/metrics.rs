@@ -71,16 +71,29 @@ impl ExperimentWindow {
 pub struct ThroughputResult {
     /// Application-level goodput in Mbps (10^6 bits/s).
     pub mbps: f64,
-    /// Receiver-node overall CPU utilization in `[0, 1]`.
+    /// Receiver-node overall CPU utilization in `[0, 1]` — time spent
+    /// doing *work* (a busy-poll spin loop does not count).
     pub rx_cpu: f64,
     /// Sender-node overall CPU utilization in `[0, 1]`.
     pub tx_cpu: f64,
+    /// Receiver-node core *occupancy* in `[0, 1]`: like `rx_cpu`, but a
+    /// core pinned to a busy-poll receive loop counts as fully occupied
+    /// for the whole window. Equals `rx_cpu` for interrupt-driven modes;
+    /// the gap times the core count is the cores polling burns — the
+    /// cores you could reclaim by switching to interrupts or I/OAT.
+    pub rx_occupancy: f64,
 }
 
 impl ThroughputResult {
     /// Throughput in MB/s (10^6 bytes/s), the PVFS unit.
     pub fn mbytes_per_sec(&self) -> f64 {
         self.mbps / 8.0
+    }
+
+    /// The fraction of receiver capacity burned spinning: occupancy
+    /// minus useful utilization, clamped at zero.
+    pub fn rx_spin_overhead(&self) -> f64 {
+        (self.rx_occupancy - self.rx_cpu).max(0.0)
     }
 }
 
@@ -125,11 +138,13 @@ mod tests {
                 mbps: 5514.0,
                 rx_cpu: 0.37,
                 tx_cpu: 0.2,
+                rx_occupancy: 0.37,
             },
             ioat: ThroughputResult {
                 mbps: 5586.0,
                 rx_cpu: 0.29,
                 tx_cpu: 0.2,
+                rx_occupancy: 0.29,
             },
         };
         // §4.1: 37% vs 29% is "close to 21%" relative benefit.

@@ -101,6 +101,7 @@ pub fn run_with_faults(
             mbps: rxs.rx_meter().mbps(to),
             rx_cpu: rxs.cpu_utilization(from, to),
             tx_cpu: txs.cpu_utilization(from, to),
+            rx_occupancy: rxs.cpu_occupancy(from, to),
         },
         frames_dropped: st.frames_dropped + sr.frames_dropped,
         retransmits: st.retransmits + sr.retransmits,

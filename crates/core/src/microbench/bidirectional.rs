@@ -67,6 +67,7 @@ pub fn run(cfg: &BidirConfig, ioat: IoatConfig) -> ThroughputResult {
         mbps: sa.rx_meter().mbps(to) + sb.rx_meter().mbps(to),
         rx_cpu: sb.cpu_utilization(from, to),
         tx_cpu: sa.cpu_utilization(from, to),
+        rx_occupancy: sb.cpu_occupancy(from, to),
     }
 }
 

@@ -88,6 +88,7 @@ pub fn run(cfg: &MultiStreamConfig, ioat: IoatConfig) -> ThroughputResult {
         mbps: rxs.rx_meter().mbps(to),
         rx_cpu: rxs.cpu_utilization(from, to),
         tx_cpu: txs.cpu_utilization(from, to),
+        rx_occupancy: rxs.cpu_occupancy(from, to),
     }
 }
 

@@ -160,6 +160,7 @@ pub fn run_one_traced(
         mbps: rxs.rx_meter().mbps(to),
         rx_cpu: rxs.cpu_utilization(from, to),
         tx_cpu: txs.cpu_utilization(from, to),
+        rx_occupancy: rxs.cpu_occupancy(from, to),
     };
     (result, (from, to))
 }

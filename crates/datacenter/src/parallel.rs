@@ -37,11 +37,12 @@ use crate::scale::{ScaleConfig, ScaleResult};
 use crate::workload::{FileCatalog, Trace, ZipfTrace};
 use ioat_core::cluster::{Cluster, NodeConfig, NodeHandle};
 use ioat_fabric::{Fabric, FabricRef, Topology};
+use ioat_faults::RetryPolicy;
 use ioat_netsim::stack::{self, ClusterFrameTotals, EgressMode, FrameRouter, StackRef};
 use ioat_netsim::{ConnId, Frame, Socket};
 use ioat_parsim::{Outbox, ParsimReport, Partition};
 use ioat_simcore::{Counter, Histogram, Sim, SimDuration, SimRng, SimTime, Summary};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -107,8 +108,9 @@ impl Layout {
 }
 
 /// Per (local proxy, subset slot) request-path endpoints, as in
-/// [`crate::scale`] but indexed group-locally.
-type ReqSlot = Option<(Socket, MsgSender<(u32, u64)>)>;
+/// [`crate::scale`] but indexed group-locally. Request metadata is
+/// `(slot, generation, size)`.
+type ReqSlot = Option<(Socket, MsgSender<(u32, u32, u64)>)>;
 
 /// Group-local run state: the partition's slice of the client slab plus
 /// its own streaming statistics, merged across partitions afterwards.
@@ -117,10 +119,18 @@ struct GroupShared {
     costs: DataCenterCosts,
     think: SimDuration,
     client_latency: SimDuration,
+    admit_budget: Option<u32>,
+    hedge: Option<RetryPolicy>,
     trace: RefCell<ZipfTrace>,
     /// Local proxy index of each local client's proxy.
     client_q: Vec<u32>,
     started: RefCell<Vec<SimTime>>,
+    /// Per-local-client request generation; see [`crate::scale`].
+    generation: RefCell<Vec<u32>>,
+    /// Transactions currently admitted per *local* proxy.
+    in_flight: RefCell<Vec<u32>>,
+    shed: Cell<u64>,
+    hedges: Cell<u64>,
     req: RefCell<Vec<ReqSlot>>,
     completed: RefCell<Counter>,
     latency_hist: RefCell<Histogram>,
@@ -136,17 +146,58 @@ fn fire(shared: &Rc<GroupShared>, sim: &mut Sim, slot: u32) {
     let idx = q * shared.f + req.file_id as usize % shared.f;
     let sh = Rc::clone(shared);
     sim.schedule(shared.client_latency, move |sim| {
-        let sock = {
+        if let Some(budget) = sh.admit_budget {
+            if sh.in_flight.borrow()[q] >= budget {
+                sh.shed.set(sh.shed.get() + 1);
+                let sh2 = Rc::clone(&sh);
+                sim.schedule(sh.think, move |sim| fire(&sh2, sim, slot));
+                return;
+            }
+        }
+        sh.in_flight.borrow_mut()[q] += 1;
+        let generation = sh.generation.borrow()[slot as usize];
+        send_attempt(&sh, sim, slot, generation, 0, idx, req.size);
+    });
+}
+
+/// One transmission of a request (attempt 0 = original, ≥ 1 = hedges);
+/// mirrors [`crate::scale`]'s `send_attempt` with local indices.
+fn send_attempt(
+    shared: &Rc<GroupShared>,
+    sim: &mut Sim,
+    slot: u32,
+    generation: u32,
+    attempt: u32,
+    idx: usize,
+    size: u64,
+) {
+    let sock = {
+        let senders = shared.req.borrow();
+        senders[idx].as_ref().expect("sender installed").0.clone()
+    };
+    let cost = if attempt == 0 {
+        shared.costs.proxy_parse + shared.costs.proxy_forward
+    } else {
+        shared.costs.proxy_forward
+    };
+    let sh = Rc::clone(shared);
+    sock.compute(sim, cost, move |sim| {
+        {
             let senders = sh.req.borrow();
-            senders[idx].as_ref().expect("sender installed").0.clone()
-        };
-        let cost = sh.costs.proxy_parse + sh.costs.proxy_forward;
-        let sh2 = Rc::clone(&sh);
-        sock.compute(sim, cost, move |sim| {
-            let senders = sh2.req.borrow();
             let (_, sender) = senders[idx].as_ref().expect("sender installed");
-            sender.send(sim, REQUEST_WIRE_BYTES, (slot, req.size));
-        });
+            sender.send(sim, REQUEST_WIRE_BYTES, (slot, generation, size));
+        }
+        if let Some(policy) = sh.hedge {
+            if attempt < policy.max_retries {
+                let sh2 = Rc::clone(&sh);
+                sim.schedule(policy.deadline(attempt), move |sim| {
+                    if sh2.generation.borrow()[slot as usize] == generation {
+                        sh2.hedges.set(sh2.hedges.get() + 1);
+                        send_attempt(&sh2, sim, slot, generation, attempt + 1, idx, size);
+                    }
+                });
+            }
+        }
     });
 }
 
@@ -222,6 +273,11 @@ fn build_fabric_part(cfg: &ScaleConfig, lay: Layout, out: Outbox<NetMsg>) -> Fab
     };
     sim.set_event_limit(limit);
     let fabric = Fabric::new(cfg.spec, cfg.fabric);
+    // The fault plan is a pure function of (spec, topology, window), so
+    // this partition expands exactly the plan the sequential build would.
+    if cfg.faults.is_active() {
+        fabric.set_faults(&cfg.faults.plan(fabric.topology(), &cfg.window));
+    }
     // Register every connection for routing; the endpoint stacks live in
     // the group partitions.
     for p in 0..lay.n_proxies {
@@ -245,6 +301,7 @@ fn build_fabric_part(cfg: &ScaleConfig, lay: Layout, out: Outbox<NetMsg>) -> Fab
 /// What the fabric partition reports back after the run.
 struct FabricOut {
     tail_drops: u64,
+    route_blackholes: u64,
 }
 
 /// Partitions `1..=G`: one server group and its clients.
@@ -326,14 +383,21 @@ fn build_group_part(cfg: &ScaleConfig, lay: Layout, g: usize, out: Outbox<NetMsg
         .collect();
     let mut completed = Counter::new();
     completed.begin_window(cfg.window.from());
+    let n_slots = slots.len();
     let shared = Rc::new(GroupShared {
         f: lay.f,
         costs: cfg.costs,
         think: cfg.think,
         client_latency: cfg.client_latency,
+        admit_budget: cfg.admit_budget,
+        hedge: cfg.hedge,
         trace: RefCell::new(trace),
         client_q,
-        started: RefCell::new(vec![SimTime::ZERO; slots.len()]),
+        started: RefCell::new(vec![SimTime::ZERO; n_slots]),
+        generation: RefCell::new(vec![0; n_slots]),
+        in_flight: RefCell::new(vec![0; lay.f]),
+        shed: Cell::new(0),
+        hedges: Cell::new(0),
         req: RefCell::new((0..lay.f * lay.f).map(|_| None).collect()),
         completed: RefCell::new(completed),
         latency_hist: RefCell::new(Histogram::new()),
@@ -363,22 +427,33 @@ fn build_group_part(cfg: &ScaleConfig, lay: Layout, g: usize, out: Outbox<NetMsg
             // build but over group-local slots.
             let sh = Rc::clone(&shared);
             let p_sock2 = p_sock.clone();
-            let respond = msg::channel(w_sock.clone(), p_sock.clone(), move |sim, slot: u32| {
-                let sh2 = Rc::clone(&sh);
-                p_sock2.compute(sim, sh.costs.proxy_relay, move |sim| {
-                    let sh3 = Rc::clone(&sh2);
-                    sim.schedule(sh2.client_latency, move |sim| {
-                        let now = sim.now();
-                        let lat = now - sh3.started.borrow()[slot as usize];
-                        let us = lat.as_nanos() / 1_000;
-                        sh3.completed.borrow_mut().add_at(now, 1);
-                        sh3.latency_hist.borrow_mut().record(us.max(1));
-                        sh3.latency_sum.borrow_mut().add(us as f64);
-                        let sh4 = Rc::clone(&sh3);
-                        sim.schedule(sh3.think, move |sim| fire(&sh4, sim, slot));
+            let respond = msg::channel(
+                w_sock.clone(),
+                p_sock.clone(),
+                move |sim, (slot, generation): (u32, u32)| {
+                    // Stale hedge duplicate: already completed, discard.
+                    if sh.generation.borrow()[slot as usize] != generation {
+                        return;
+                    }
+                    sh.generation.borrow_mut()[slot as usize] += 1;
+                    let lq = sh.client_q[slot as usize] as usize;
+                    sh.in_flight.borrow_mut()[lq] -= 1;
+                    let sh2 = Rc::clone(&sh);
+                    p_sock2.compute(sim, sh.costs.proxy_relay, move |sim| {
+                        let sh3 = Rc::clone(&sh2);
+                        sim.schedule(sh2.client_latency, move |sim| {
+                            let now = sim.now();
+                            let lat = now - sh3.started.borrow()[slot as usize];
+                            let us = lat.as_nanos() / 1_000;
+                            sh3.completed.borrow_mut().add_at(now, 1);
+                            sh3.latency_hist.borrow_mut().record(us.max(1));
+                            sh3.latency_sum.borrow_mut().add(us as f64);
+                            let sh4 = Rc::clone(&sh3);
+                            sim.schedule(sh3.think, move |sim| fire(&sh4, sim, slot));
+                        });
                     });
-                });
-            });
+                },
+            );
             let respond = Rc::new(respond);
 
             let costs = cfg.costs;
@@ -386,10 +461,10 @@ fn build_group_part(cfg: &ScaleConfig, lay: Layout, g: usize, out: Outbox<NetMsg
             let request = msg::channel(
                 p_sock.clone(),
                 w_sock,
-                move |sim, (slot, size): (u32, u64)| {
+                move |sim, (slot, generation, size): (u32, u32, u64)| {
                     let rsp = Rc::clone(&respond);
                     w_sock2.compute(sim, costs.web_serve(size), move |sim| {
-                        rsp.send(sim, size, slot);
+                        rsp.send(sim, size, (slot, generation));
                     });
                 },
             );
@@ -438,6 +513,9 @@ struct GroupOut {
     lat: Summary,
     proxy_cpu_sum: f64,
     web_cpu_sum: f64,
+    proxy_occ_sum: f64,
+    shed: u64,
+    hedges: u64,
     totals: ClusterFrameTotals,
 }
 
@@ -531,6 +609,7 @@ impl Partition for DcPartition {
                 }
                 DcOut::Fabric(FabricOut {
                     tail_drops: p.fabric.tail_drops(),
+                    route_blackholes: p.fabric.blackholes(),
                 })
             }
             DcPartition::Group(p) => {
@@ -549,6 +628,13 @@ impl Partition for DcPartition {
                     lat: p.shared.latency_sum.borrow().clone(),
                     proxy_cpu_sum: tier_sum(&p.proxies),
                     web_cpu_sum: tier_sum(&p.webs),
+                    proxy_occ_sum: p
+                        .proxies
+                        .iter()
+                        .map(|&h| p.cluster.stack(h).borrow().cpu_occupancy(p.from, p.to))
+                        .sum::<f64>(),
+                    shed: p.shared.shed.get(),
+                    hedges: p.shared.hedges.get(),
                     totals: p.cluster.frame_totals(),
                 })
             }
@@ -588,31 +674,48 @@ pub fn run_partitioned(cfg: &ScaleConfig, threads: usize) -> (ScaleResult, Parsi
 
     // Deterministic merge in partition order.
     let mut tail_drops = 0u64;
+    let mut route_blackholes = 0u64;
     let mut completed = 0u64;
     let mut hist = Histogram::new();
     let mut lat = Summary::new();
     let mut proxy_cpu_sum = 0.0;
     let mut web_cpu_sum = 0.0;
+    let mut proxy_occ_sum = 0.0;
+    let mut shed = 0u64;
+    let mut hedges = 0u64;
     let mut totals = ClusterFrameTotals::default();
     for out in outs {
         match out {
-            DcOut::Fabric(f) => tail_drops = f.tail_drops,
+            DcOut::Fabric(f) => {
+                tail_drops = f.tail_drops;
+                route_blackholes = f.route_blackholes;
+            }
             DcOut::Group(g) => {
                 completed += g.completed;
                 hist.merge(&g.hist);
                 lat.merge(&g.lat);
                 proxy_cpu_sum += g.proxy_cpu_sum;
                 web_cpu_sum += g.web_cpu_sum;
+                proxy_occ_sum += g.proxy_occ_sum;
+                shed += g.shed;
+                hedges += g.hedges;
                 totals.merge(&g.totals);
             }
         }
     }
     // The cluster-wide conservation identity only holds on totals summed
-    // across every partition; the frames the fabric dropped are its
-    // `switch_dropped` term. The window closes mid-flight, so the
-    // in-flight (non-quiescent) form applies.
+    // across every partition; the frames the fabric dropped or
+    // blackholed are its `switch_dropped` / `route_blackholed` terms.
+    // The window closes mid-flight, so the in-flight (non-quiescent)
+    // form applies.
     if ioat_guard::enabled() {
-        stack::audit_cluster_conservation_sums(totals, tail_drops, horizon, false);
+        stack::audit_cluster_conservation_sums(
+            totals,
+            tail_drops,
+            route_blackholes,
+            horizon,
+            false,
+        );
     }
 
     let elapsed = (cfg.window.to() - cfg.window.from()).as_secs_f64();
@@ -626,6 +729,10 @@ pub fn run_partitioned(cfg: &ScaleConfig, threads: usize) -> (ScaleResult, Parsi
         proxy_cpu: proxy_cpu_sum / lay.n_proxies as f64,
         web_cpu: web_cpu_sum / lay.n_webs as f64,
         tail_drops,
+        route_blackholes,
+        shed,
+        hedges,
+        proxy_occupancy: proxy_occ_sum / lay.n_proxies as f64,
         sim_events: report.total_events(),
     };
     (result, report)
@@ -680,6 +787,39 @@ mod tests {
         let b = run_partitioned(&cfg, 3);
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn faulted_partitioned_runs_are_bit_identical_across_worker_counts() {
+        use crate::scale::FabricFaultSpec;
+        use ioat_simcore::SimDuration;
+        let mut cfg = ScaleConfig::quick_test(IoatConfig::disabled());
+        cfg.faults = FabricFaultSpec {
+            flaps_per_link: 3,
+            crashed_switches: 2,
+            ..FabricFaultSpec::none()
+        };
+        cfg.admit_budget = Some(2);
+        cfg.hedge = Some(RetryPolicy {
+            timeout: SimDuration::from_millis(4),
+            ..RetryPolicy::default()
+        });
+        let (result, violations) = ioat_guard::with_audit(|| {
+            let (r1, _) = run_partitioned(&cfg, 1);
+            let (r4, _) = run_partitioned(&cfg, 4);
+            (r1, r4)
+        });
+        let (r1, r4) = result.expect("faulted runs complete");
+        assert!(
+            violations.is_empty(),
+            "audits must stay clean under faults: {violations:?}"
+        );
+        assert_eq!(r1, r4, "fault windows must be partition-invariant");
+        assert!(
+            r1.route_blackholes > 0,
+            "the crash window must blackhole some frames"
+        );
+        assert!(r1.completed > 0, "transactions keep completing");
     }
 
     #[test]

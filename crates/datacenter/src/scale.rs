@@ -28,9 +28,89 @@ use ioat_core::cluster::{Cluster, NodeConfig, NodeHandle};
 use ioat_core::metrics::ExperimentWindow;
 use ioat_core::{IoatConfig, SocketOpts};
 use ioat_fabric::{FabricParams, Topology, TopologySpec};
+use ioat_faults::{CrashWindow, FaultPlan, LinkFlapModel, RetryPolicy, TimeWindow};
 use ioat_simcore::{Counter, Histogram, SimDuration, SimRng, SimTime, Summary};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+
+/// Fabric-facing fault injection for a scale run, expanded against the
+/// run's topology and measurement window by [`FabricFaultSpec::plan`].
+/// Plain `Copy` data so [`ScaleConfig`] stays plain data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricFaultSpec {
+    /// Flap windows drawn per directed fabric link across the whole run
+    /// (0 = no flapping).
+    pub flaps_per_link: u32,
+    /// Downtime of each flap.
+    pub flap_down: SimDuration,
+    /// Switches crashed for the first part of the measurement window
+    /// (0 = none). Drawn without replacement from the non-edge tiers,
+    /// where ECMP has equal-cost siblings to fail over to — crashing an
+    /// edge switch severs its hosts outright, a different experiment.
+    pub crashed_switches: u32,
+    /// Seed of the plan's dedicated RNG streams (flap schedules and the
+    /// crashed-switch draw).
+    pub seed: u64,
+}
+
+impl FabricFaultSpec {
+    /// The inert spec: no flaps, no crashes, bit-identical to a run that
+    /// never saw one.
+    pub fn none() -> Self {
+        FabricFaultSpec {
+            flaps_per_link: 0,
+            flap_down: SimDuration::from_micros(500),
+            crashed_switches: 0,
+            seed: 0xFA17,
+        }
+    }
+
+    /// Whether the spec injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.flaps_per_link > 0 || self.crashed_switches > 0
+    }
+
+    /// Expands the spec into the concrete [`FaultPlan`] for `topo` over
+    /// `window`: flap schedules span the whole run, crash windows cover
+    /// `[measure/8, measure/2]` past the window open so the run records
+    /// both the degradation and the recovery. A pure function of
+    /// `(self, topo, window)` — every partition layout expands it
+    /// identically, which keeps parallel runs bit-identical.
+    pub fn plan(&self, topo: &Topology, window: &ExperimentWindow) -> FaultPlan {
+        let mut plan = FaultPlan {
+            seed: self.seed,
+            ..FaultPlan::none()
+        };
+        if self.flaps_per_link > 0 {
+            plan.link_flap = Some(LinkFlapModel {
+                flaps_per_link: self.flaps_per_link,
+                down_for: self.flap_down,
+                horizon: window.to(),
+            });
+        }
+        if self.crashed_switches > 0 {
+            let mut candidates: Vec<usize> = (0..topo.switches())
+                .filter(|&sw| topo.switch_tier(sw) > 0)
+                .collect();
+            let n = (self.crashed_switches as usize).min(candidates.len());
+            let mut rng = SimRng::stream(self.seed, 0xC4A5);
+            let m = window.measure.as_nanos();
+            let open = window.from();
+            let down = TimeWindow::new(
+                open + SimDuration::from_nanos(m / 8),
+                open + SimDuration::from_nanos(m / 2),
+            );
+            for _ in 0..n {
+                let i = rng.range(0, candidates.len() as u64) as usize;
+                plan.switch_crashes.push(CrashWindow {
+                    service: candidates.swap_remove(i) as u32,
+                    window: down,
+                });
+            }
+        }
+        plan
+    }
+}
 
 /// Configuration of a fabric-scale datacenter run.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +145,20 @@ pub struct ScaleConfig {
     pub seed: u64,
     /// Hardware era every server node is calibrated against.
     pub profile: ioat_core::calibration::NodeProfile,
+    /// Fabric fault injection: link flaps and switch crashes (inert by
+    /// default).
+    pub faults: FabricFaultSpec,
+    /// Proxy admission budget: a client request arriving at a proxy that
+    /// already has this many transactions in flight is shed before any
+    /// proxy work, and the client retries after a think time. `None`
+    /// admits everything.
+    pub admit_budget: Option<u32>,
+    /// Hedged-retry policy on the proxy → web request path: when a
+    /// response is still outstanding at `deadline(attempt)`, the proxy
+    /// sends a duplicate round-tagged request (up to `max_retries`
+    /// hedges, backoff-spaced); the first response wins and stale ones
+    /// are discarded by generation. `None` never hedges.
+    pub hedge: Option<RetryPolicy>,
 }
 
 impl ScaleConfig {
@@ -91,6 +185,9 @@ impl ScaleConfig {
             client_latency: SimDuration::from_micros(200),
             seed: 0xD1CE,
             profile: ioat_core::calibration::NodeProfile::Testbed2007,
+            faults: FabricFaultSpec::none(),
+            admit_budget: None,
+            hedge: None,
         }
     }
 
@@ -141,14 +238,25 @@ pub struct ScaleResult {
     pub web_cpu: f64,
     /// Frames tail-dropped by switch buffers over the whole run.
     pub tail_drops: u64,
+    /// Frames dropped with no surviving path (flapped links / crashed
+    /// switches) over the whole run.
+    pub route_blackholes: u64,
+    /// Requests shed by proxy admission control over the whole run.
+    pub shed: u64,
+    /// Hedged duplicate requests the proxy tier sent over the whole run.
+    pub hedges: u64,
+    /// Mean proxy-tier core *occupancy* in the window: busy-poll spin
+    /// counts as occupied, so under polling modes this exceeds
+    /// [`ScaleResult::proxy_cpu`] by the cores burned spinning.
+    pub proxy_occupancy: f64,
     /// Simulator events executed by the end of the window.
     pub sim_events: u64,
 }
 
 /// Per (proxy, subset-slot) request-path endpoints: the proxy-side
 /// socket (for compute charging) and the request sender toward the
-/// chosen web server.
-type ReqSlot = Option<(ioat_netsim::Socket, MsgSender<(u32, u64)>)>;
+/// chosen web server. Request metadata is `(slot, generation, size)`.
+type ReqSlot = Option<(ioat_netsim::Socket, MsgSender<(u32, u32, u64)>)>;
 
 /// Shared run state: the client slab plus streaming statistics. One
 /// allocation each, fixed size for the whole run.
@@ -158,9 +266,19 @@ struct Shared {
     costs: DataCenterCosts,
     think: SimDuration,
     client_latency: SimDuration,
+    admit_budget: Option<u32>,
+    hedge: Option<RetryPolicy>,
     trace: RefCell<ZipfTrace>,
     /// Slab of per-client request start instants, indexed by client slot.
     started: RefCell<Vec<SimTime>>,
+    /// Per-client request generation: responses and hedge deadlines carry
+    /// the generation they were fired under; completion bumps it, which
+    /// instantly stales every outstanding duplicate.
+    generation: RefCell<Vec<u32>>,
+    /// Transactions currently admitted per proxy, for admission control.
+    in_flight: RefCell<Vec<u32>>,
+    shed: Cell<u64>,
+    hedges: Cell<u64>,
     req: RefCell<Vec<ReqSlot>>,
     completed: RefCell<Counter>,
     latency_hist: RefCell<Histogram>,
@@ -168,7 +286,7 @@ struct Shared {
 }
 
 /// One closed-loop client iteration: draw a document, cross the client
-/// access delay, run the proxy request path.
+/// access delay, pass (or fail) proxy admission, run the request path.
 fn fire(shared: &Rc<Shared>, sim: &mut ioat_simcore::Sim, slot: u32) {
     let req = shared.trace.borrow_mut().next_request();
     shared.started.borrow_mut()[slot as usize] = sim.now();
@@ -176,17 +294,66 @@ fn fire(shared: &Rc<Shared>, sim: &mut ioat_simcore::Sim, slot: u32) {
     let idx = p * shared.webs_per_proxy + req.file_id as usize % shared.webs_per_proxy;
     let sh = Rc::clone(shared);
     sim.schedule(shared.client_latency, move |sim| {
-        let sock = {
+        // Deterministic load shedding: over budget, the request is turned
+        // away before any proxy work and the client backs off one think
+        // time — the shed path costs the proxy nothing, which is the
+        // point of admission control.
+        if let Some(budget) = sh.admit_budget {
+            if sh.in_flight.borrow()[p] >= budget {
+                sh.shed.set(sh.shed.get() + 1);
+                let sh2 = Rc::clone(&sh);
+                sim.schedule(sh.think, move |sim| fire(&sh2, sim, slot));
+                return;
+            }
+        }
+        sh.in_flight.borrow_mut()[p] += 1;
+        let generation = sh.generation.borrow()[slot as usize];
+        send_attempt(&sh, sim, slot, generation, 0, idx, req.size);
+    });
+}
+
+/// One transmission of a client's request (attempt 0 is the original,
+/// attempts ≥ 1 are hedges): charge the proxy compute, send the
+/// generation-tagged request, and — with a hedge policy installed — arm
+/// the next hedge deadline, which fires only if the generation is still
+/// outstanding.
+fn send_attempt(
+    shared: &Rc<Shared>,
+    sim: &mut ioat_simcore::Sim,
+    slot: u32,
+    generation: u32,
+    attempt: u32,
+    idx: usize,
+    size: u64,
+) {
+    let sock = {
+        let senders = shared.req.borrow();
+        senders[idx].as_ref().expect("sender installed").0.clone()
+    };
+    // A hedge re-sends an already-parsed request: forward cost only.
+    let cost = if attempt == 0 {
+        shared.costs.proxy_parse + shared.costs.proxy_forward
+    } else {
+        shared.costs.proxy_forward
+    };
+    let sh = Rc::clone(shared);
+    sock.compute(sim, cost, move |sim| {
+        {
             let senders = sh.req.borrow();
-            senders[idx].as_ref().expect("sender installed").0.clone()
-        };
-        let cost = sh.costs.proxy_parse + sh.costs.proxy_forward;
-        let sh2 = Rc::clone(&sh);
-        sock.compute(sim, cost, move |sim| {
-            let senders = sh2.req.borrow();
             let (_, sender) = senders[idx].as_ref().expect("sender installed");
-            sender.send(sim, REQUEST_WIRE_BYTES, (slot, req.size));
-        });
+            sender.send(sim, REQUEST_WIRE_BYTES, (slot, generation, size));
+        }
+        if let Some(policy) = sh.hedge {
+            if attempt < policy.max_retries {
+                let sh2 = Rc::clone(&sh);
+                sim.schedule(policy.deadline(attempt), move |sim| {
+                    if sh2.generation.borrow()[slot as usize] == generation {
+                        sh2.hedges.set(sh2.hedges.get() + 1);
+                        send_attempt(&sh2, sim, slot, generation, attempt + 1, idx, size);
+                    }
+                });
+            }
+        }
     });
 }
 
@@ -203,6 +370,10 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
 
     let mut cluster = Cluster::new(cfg.seed);
     let fabric = cluster.install_fabric(cfg.spec, cfg.fabric);
+    if cfg.faults.is_active() {
+        let plan = cfg.faults.plan(fabric.topology(), &cfg.window);
+        cluster.set_faults(&plan);
+    }
 
     let mut nodes: Vec<NodeHandle> = Vec::with_capacity(hosts);
     let proxies: Vec<NodeHandle> = (0..n_proxies)
@@ -242,8 +413,14 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
         costs: cfg.costs,
         think: cfg.think,
         client_latency: cfg.client_latency,
+        admit_budget: cfg.admit_budget,
+        hedge: cfg.hedge,
         trace: RefCell::new(trace),
         started: RefCell::new(vec![SimTime::ZERO; cfg.clients]),
+        generation: RefCell::new(vec![0; cfg.clients]),
+        in_flight: RefCell::new(vec![0; n_proxies]),
+        shed: Cell::new(0),
+        hedges: Cell::new(0),
         req: RefCell::new((0..n_proxies * f).map(|_| None).collect()),
         completed: RefCell::new(completed),
         latency_hist: RefCell::new(Histogram::new()),
@@ -261,34 +438,47 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
             // the client's next request.
             let sh = Rc::clone(&shared);
             let p_sock2 = p_sock.clone();
-            let respond = msg::channel(w_sock.clone(), p_sock.clone(), move |sim, slot: u32| {
-                let sh2 = Rc::clone(&sh);
-                p_sock2.compute(sim, sh.costs.proxy_relay, move |sim| {
-                    let sh3 = Rc::clone(&sh2);
-                    sim.schedule(sh2.client_latency, move |sim| {
-                        let now = sim.now();
-                        let lat = now - sh3.started.borrow()[slot as usize];
-                        let us = lat.as_nanos() / 1_000;
-                        sh3.completed.borrow_mut().add_at(now, 1);
-                        sh3.latency_hist.borrow_mut().record(us.max(1));
-                        sh3.latency_sum.borrow_mut().add(us as f64);
-                        let sh4 = Rc::clone(&sh3);
-                        sim.schedule(sh3.think, move |sim| fire(&sh4, sim, slot));
+            let respond = msg::channel(
+                w_sock.clone(),
+                p_sock.clone(),
+                move |sim, (slot, generation): (u32, u32)| {
+                    // A response for a superseded generation is a stale
+                    // hedge duplicate — the transaction already
+                    // completed; discard it before any proxy work.
+                    if sh.generation.borrow()[slot as usize] != generation {
+                        return;
+                    }
+                    sh.generation.borrow_mut()[slot as usize] += 1;
+                    sh.in_flight.borrow_mut()[slot as usize % sh.n_proxies] -= 1;
+                    let sh2 = Rc::clone(&sh);
+                    p_sock2.compute(sim, sh.costs.proxy_relay, move |sim| {
+                        let sh3 = Rc::clone(&sh2);
+                        sim.schedule(sh2.client_latency, move |sim| {
+                            let now = sim.now();
+                            let lat = now - sh3.started.borrow()[slot as usize];
+                            let us = lat.as_nanos() / 1_000;
+                            sh3.completed.borrow_mut().add_at(now, 1);
+                            sh3.latency_hist.borrow_mut().record(us.max(1));
+                            sh3.latency_sum.borrow_mut().add(us as f64);
+                            let sh4 = Rc::clone(&sh3);
+                            sim.schedule(sh3.think, move |sim| fire(&sh4, sim, slot));
+                        });
                     });
-                });
-            });
+                },
+            );
             let respond = Rc::new(respond);
 
-            // Requests proxy → web: serve the document, send it back.
+            // Requests proxy → web: serve the document, send it back with
+            // the request's generation tag.
             let costs = cfg.costs;
             let w_sock2 = w_sock.clone();
             let request = msg::channel(
                 p_sock.clone(),
                 w_sock,
-                move |sim, (slot, size): (u32, u64)| {
+                move |sim, (slot, generation, size): (u32, u32, u64)| {
                     let rsp = Rc::clone(&respond);
                     w_sock2.compute(sim, costs.web_serve(size), move |sim| {
-                        rsp.send(sim, size, slot);
+                        rsp.send(sim, size, (slot, generation));
                     });
                 },
             );
@@ -316,6 +506,11 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
             .sum::<f64>()
             / handles.len() as f64
     };
+    let proxy_occupancy = proxies
+        .iter()
+        .map(|&h| cluster.stack(h).borrow().cpu_occupancy(from, to))
+        .sum::<f64>()
+        / proxies.len() as f64;
     let hist = shared.latency_hist.borrow();
     let sum = shared.latency_sum.borrow();
     let completed = shared.completed.borrow().window_total();
@@ -329,6 +524,10 @@ pub fn run(cfg: &ScaleConfig) -> ScaleResult {
         proxy_cpu: tier_cpu(&proxies),
         web_cpu: tier_cpu(&webs),
         tail_drops: fabric.tail_drops(),
+        route_blackholes: fabric.blackholes(),
+        shed: shared.shed.get(),
+        hedges: shared.hedges.get(),
+        proxy_occupancy,
         sim_events: cluster.sim().events_executed(),
     }
 }
@@ -377,5 +576,121 @@ mod tests {
             ioat_per < non_per,
             "I/OAT {ioat_per:.3e} vs non {non_per:.3e} CPU/txn"
         );
+    }
+
+    #[test]
+    fn fabric_faults_degrade_and_the_run_recovers() {
+        let mut cfg = ScaleConfig::quick_test(IoatConfig::disabled());
+        cfg.faults = FabricFaultSpec {
+            flaps_per_link: 4,
+            crashed_switches: 2,
+            ..FabricFaultSpec::none()
+        };
+        let (result, violations) = ioat_guard::with_audit(|| run(&cfg));
+        let r = result.expect("faulted run completes");
+        assert!(
+            violations.is_empty(),
+            "audits must stay clean under faults: {violations:?}"
+        );
+        assert!(
+            r.route_blackholes > 0,
+            "flaps + crashed switches must blackhole some frames"
+        );
+        assert!(
+            r.completed > 0,
+            "transactions must keep completing through failover"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let mut cfg = ScaleConfig::quick_test(IoatConfig::full());
+        cfg.faults = FabricFaultSpec {
+            flaps_per_link: 2,
+            crashed_switches: 1,
+            ..FabricFaultSpec::none()
+        };
+        cfg.admit_budget = Some(2);
+        cfg.hedge = Some(RetryPolicy {
+            timeout: SimDuration::from_millis(5),
+            ..RetryPolicy::default()
+        });
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a, b, "same faulted config must reproduce bit-identically");
+    }
+
+    #[test]
+    fn more_flaps_blackhole_at_least_as_many_frames() {
+        // The flap model draws each link's windows sequentially from one
+        // dedicated stream, so n flaps' schedule is a prefix of n+1's —
+        // degradation is structurally monotone in the flap rate.
+        let mut prev = 0;
+        for flaps in [0u32, 3, 9] {
+            let mut cfg = ScaleConfig::quick_test(IoatConfig::disabled());
+            cfg.faults = FabricFaultSpec {
+                flaps_per_link: flaps,
+                ..FabricFaultSpec::none()
+            };
+            let r = run(&cfg);
+            assert!(
+                r.route_blackholes >= prev,
+                "blackholes must not decrease with flap rate \
+                 ({flaps} flaps: {} < {prev})",
+                r.route_blackholes
+            );
+            prev = r.route_blackholes;
+        }
+        assert!(prev > 0, "the densest flap schedule must blackhole frames");
+    }
+
+    #[test]
+    fn tiny_admission_budget_sheds_and_caps_in_flight_work() {
+        let mut cfg = ScaleConfig::quick_test(IoatConfig::disabled());
+        let open = run(&cfg);
+        cfg.admit_budget = Some(1);
+        let (result, violations) = ioat_guard::with_audit(|| run(&cfg));
+        let capped = result.expect("capped run completes");
+        assert!(
+            violations.is_empty(),
+            "audits must stay clean under shedding: {violations:?}"
+        );
+        assert!(capped.shed > 0, "a budget of 1 must shed requests");
+        assert!(
+            capped.completed > 0,
+            "admitted requests must still complete"
+        );
+        assert!(
+            capped.completed < open.completed,
+            "shedding must cost throughput ({} vs {})",
+            capped.completed,
+            open.completed
+        );
+        assert_eq!(open.shed, 0, "no budget, nothing shed");
+    }
+
+    #[test]
+    fn hedged_retries_fire_during_an_outage_and_stale_wins_are_discarded() {
+        let mut cfg = ScaleConfig::quick_test(IoatConfig::disabled());
+        cfg.faults = FabricFaultSpec {
+            crashed_switches: 2,
+            ..FabricFaultSpec::none()
+        };
+        cfg.hedge = Some(RetryPolicy {
+            timeout: SimDuration::from_millis(4),
+            max_retries: 2,
+            backoff: 2.0,
+        });
+        let (result, violations) = ioat_guard::with_audit(|| run(&cfg));
+        let r = result.expect("hedged run completes");
+        assert!(
+            violations.is_empty(),
+            "audits must stay clean under hedging: {violations:?}"
+        );
+        assert!(
+            r.hedges > 0,
+            "outage-lengthened requests must trip the hedge deadline"
+        );
+        assert!(r.completed > 0, "hedged transactions must complete");
     }
 }

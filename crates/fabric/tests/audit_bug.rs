@@ -8,11 +8,11 @@
 //! defects rather than vacuously passing.
 
 use ioat_fabric::{Fabric, FabricParams, TopologySpec};
+use ioat_faults::{CrashWindow, FaultPlan, TimeWindow};
 use ioat_netsim::config::{IoatConfig, StackParams};
 use ioat_netsim::stack;
 use ioat_netsim::{ConnId, HostStack, SocketOpts};
-use ioat_simcore::Sim;
-use std::rc::Rc;
+use ioat_simcore::{Sim, SimTime};
 
 #[test]
 fn audit_catches_a_miscounted_switch_drop() {
@@ -43,7 +43,13 @@ fn audit_catches_a_miscounted_switch_drop() {
             .map(|sw| fabric.switch_stats(sw).tail_drops)
             .sum();
         fabric.audit(sim.now(), true);
-        stack::audit_cluster_conservation_ext(&[a, b, d], drops, sim.now(), true);
+        stack::audit_cluster_conservation_ext(
+            &[a, b, d],
+            drops,
+            fabric.blackholes(),
+            sim.now(),
+            true,
+        );
         (drops, true_drops)
     });
     let (skewed_drops, true_drops) = result.expect("run must complete");
@@ -66,5 +72,85 @@ fn audit_catches_a_miscounted_switch_drop() {
             .iter()
             .any(|v| v.component == "netsim/cluster" && v.invariant.contains("frame conservation")),
         "cluster conservation must fire: {violations:?}"
+    );
+}
+
+#[test]
+fn audit_catches_a_miscounted_route_blackhole() {
+    let (result, violations) = ioat_guard::with_audit(|| {
+        let mut sim = Sim::new();
+        sim.set_event_limit(50_000_000);
+        let fabric = Fabric::new(TopologySpec::FatTree { k: 4 }, FabricParams::gige());
+        // Crash both aggregation switches of pod 0 (switches 8 and 9 in
+        // the fat-tree(4) numbering) for the first 3 ms: every inter-pod
+        // frame leaving pod 0 finds zero surviving uplinks at its edge
+        // switch and blackholes. Four bulk connections push well over 96
+        // blackholes before the window closes, which is where the global
+        // counter's deliberate skew manifests; afterwards retransmission
+        // drains everything so the quiescent identity applies.
+        let down = TimeWindow::new(SimTime::ZERO, SimTime::from_millis(3));
+        let plan = FaultPlan {
+            switch_crashes: vec![
+                CrashWindow {
+                    service: 8,
+                    window: down,
+                },
+                CrashWindow {
+                    service: 9,
+                    window: down,
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        fabric.set_faults(&plan);
+        let mut stacks = Vec::new();
+        for (i, (src, dst)) in [(0usize, 12usize), (1, 13), (2, 14), (3, 15)]
+            .into_iter()
+            .enumerate()
+        {
+            let s = HostStack::new("s", 2, StackParams::default(), IoatConfig::disabled());
+            let r = HostStack::new("r", 2, StackParams::default(), IoatConfig::disabled());
+            fabric.attach(&s, src);
+            fabric.attach(&r, dst);
+            fabric.open(src, dst, SocketOpts::tuned(), ConnId(1 + i as u64));
+            stack::app_send(&s, &mut sim, ConnId(1 + i as u64), 200_000);
+            stacks.push(s);
+            stacks.push(r);
+        }
+        sim.run();
+        let skewed = fabric.blackholes();
+        let true_bh: u64 = (0..fabric.topology().switches())
+            .map(|sw| fabric.switch_stats(sw).blackholes)
+            .sum();
+        fabric.audit(sim.now(), true);
+        stack::audit_cluster_conservation_ext(
+            &stacks,
+            fabric.tail_drops(),
+            skewed,
+            sim.now(),
+            true,
+        );
+        (skewed, true_bh)
+    });
+    let (skewed, true_bh) = result.expect("run must complete");
+    assert!(
+        true_bh > 96,
+        "need > 96 blackholes ({true_bh}) for the skew to manifest"
+    );
+    assert!(
+        skewed < true_bh,
+        "global counter ({skewed}) must lag the per-switch truth ({true_bh})"
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.component == "fabric" && v.invariant.contains("blackhole accounting")),
+        "fabric per-switch-vs-global blackhole cross-check must fire: {violations:?}"
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.component == "netsim/cluster" && v.invariant.contains("frame conservation")),
+        "cluster conservation must fire against the skewed blackhole term: {violations:?}"
     );
 }

@@ -24,6 +24,16 @@
 //!   (web-tier daemon, PVFS I/O daemon) silently drops requests inside
 //!   the window; clients recover with timeouts, retries and failover
 //!   governed by a [`RetryPolicy`].
+//! * **Fabric link flaps** ([`LinkFlapModel`]): per-fabric-link down
+//!   windows, drawn once per link from a dedicated stream when the
+//!   fabric installs the plan. ECMP routes around a down link over the
+//!   surviving equal-cost ports; frames with no live path are counted
+//!   as route blackholes (see `ioat-fabric`). The windows for `n` flaps
+//!   per link are a prefix of the windows for `n+1` flaps from the same
+//!   stream, so degradation is structurally monotone in the flap rate.
+//! * **Switch crash windows** (`switch_crashes`): [`CrashWindow`]s whose
+//!   service id is a fabric switch index; inside the window the switch
+//!   forwards nothing and its neighbors route around it.
 //!
 //! **Inertness contract**: with [`FaultPlan::none()`] every hook returns
 //! its no-fault answer without drawing a single random number or
@@ -71,6 +81,31 @@ impl LossModel {
     pub fn is_active(&self) -> bool {
         !matches!(self, LossModel::None)
     }
+
+    /// Panics unless every configured probability is a probability.
+    fn validate(&self) {
+        let check = |name: &str, p: f64| {
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "LossModel: {name} must be a probability in [0, 1], got {p}"
+            );
+        };
+        match *self {
+            LossModel::None => {}
+            LossModel::Bernoulli { p } => check("p", p),
+            LossModel::GilbertElliott {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+            } => {
+                check("p_enter_bad", p_enter_bad);
+                check("p_exit_bad", p_exit_bad);
+                check("loss_good", loss_good);
+                check("loss_bad", loss_bad);
+            }
+        }
+    }
 }
 
 /// A half-open interval of simulated time `[from, to)`.
@@ -112,6 +147,72 @@ pub struct CrashWindow {
 /// Service id of the data-center web-tier daemon in [`CrashWindow`]s.
 pub const WEB_SERVICE: u32 = 0;
 
+/// Salt folded into the per-fabric-link flap streams so they can never
+/// collide with the per-`(node, link)` loss streams (whose high half is
+/// a node id, always far below this).
+const FLAP_STREAM_SALT: u64 = 0xF1A9 << 48;
+
+/// Seed-driven fabric link flaps: every directed fabric link gets
+/// `flaps_per_link` down-windows of length `down_for`, with start times
+/// drawn uniformly over `[0, horizon)` from a stream dedicated to that
+/// link. The whole schedule is a pure function of `(plan seed, link id)`
+/// — the fabric materializes it once at plan-install time, so no RNG is
+/// drawn while the simulation runs and the schedule is identical under
+/// any partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LinkFlapModel {
+    /// Down-windows per directed fabric link over the horizon.
+    pub flaps_per_link: u32,
+    /// How long each flap keeps the link down.
+    pub down_for: SimDuration,
+    /// Flap start times are drawn uniformly over `[0, horizon)`.
+    pub horizon: SimTime,
+}
+
+impl LinkFlapModel {
+    /// True when the model can take links down.
+    pub fn is_active(&self) -> bool {
+        self.flaps_per_link > 0
+    }
+
+    /// The down-windows for the link identified by `link_id`, drawn from
+    /// that link's dedicated stream seeded by `seed`. Start times are
+    /// drawn sequentially, so the windows for `n` flaps are a prefix of
+    /// the windows for `n + 1` flaps at the same seed: raising the flap
+    /// rate only ever *adds* down-time, which is what makes degradation
+    /// monotone in the rate.
+    pub fn windows(&self, seed: u64, link_id: u64) -> Vec<TimeWindow> {
+        self.validate();
+        let mut rng = SimRng::stream(seed, FLAP_STREAM_SALT ^ link_id);
+        (0..self.flaps_per_link)
+            .map(|_| {
+                let start = rng.range(0, self.horizon.as_nanos().max(1));
+                TimeWindow::new(
+                    SimTime::from_nanos(start),
+                    SimTime::from_nanos(start.saturating_add(self.down_for.as_nanos())),
+                )
+            })
+            .collect()
+    }
+
+    /// Panics unless an active model has a positive window length and a
+    /// positive horizon to place the windows in.
+    fn validate(&self) {
+        if !self.is_active() {
+            return;
+        }
+        assert!(
+            self.down_for > SimDuration::ZERO,
+            "LinkFlapModel: down_for must be positive when flaps_per_link > 0"
+        );
+        assert!(
+            self.horizon > SimTime::ZERO,
+            "LinkFlapModel: horizon must be positive when flaps_per_link > 0"
+        );
+    }
+}
+
 /// The full, seed-driven description of what goes wrong in a run.
 ///
 /// [`FaultPlan::none()`] (also `Default`) configures nothing: every hook
@@ -132,6 +233,12 @@ pub struct FaultPlan {
     pub dma_down: Vec<TimeWindow>,
     /// Scheduled daemon crash–restart windows.
     pub crashes: Vec<CrashWindow>,
+    /// Seed-driven fabric link flaps; consumed by the fabric, not the
+    /// per-node injectors.
+    pub link_flap: Option<LinkFlapModel>,
+    /// Scheduled fabric switch crash windows; `service` is the switch
+    /// index. Consumed by the fabric, not the per-node injectors.
+    pub switch_crashes: Vec<CrashWindow>,
 }
 
 impl FaultPlan {
@@ -142,6 +249,12 @@ impl FaultPlan {
 
     /// A plan with only independent frame loss at probability `p`.
     pub fn bernoulli_loss(seed: u64, p: f64) -> Self {
+        // Checked here as well as in validate(): `p > 0.0` below would
+        // silently collapse NaN to the inert model.
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "LossModel: p must be a probability in [0, 1], got {p}"
+        );
         FaultPlan {
             seed,
             loss: if p > 0.0 {
@@ -155,10 +268,53 @@ impl FaultPlan {
 
     /// True when the plan configures at least one fault.
     pub fn is_active(&self) -> bool {
+        self.has_node_faults() || self.has_fabric_faults()
+    }
+
+    /// True when the plan configures a fault the per-node injectors
+    /// consume (loss, ring capacity, DMA outages, daemon crashes).
+    pub fn has_node_faults(&self) -> bool {
         self.loss.is_active()
             || self.rx_ring_slots.is_some()
             || !self.dma_down.is_empty()
             || !self.crashes.is_empty()
+    }
+
+    /// True when the plan configures a fault the fabric consumes (link
+    /// flaps, switch crashes).
+    pub fn has_fabric_faults(&self) -> bool {
+        self.link_flap.is_some_and(|m| m.is_active()) || !self.switch_crashes.is_empty()
+    }
+
+    /// Panics with a named message unless every probability is a
+    /// probability and every window runs forwards. Struct-literal plans
+    /// bypass [`TimeWindow::new`], so the consumers ([`FaultInjector::new`]
+    /// and the fabric's plan install) re-check here.
+    pub fn validate(&self) {
+        self.loss.validate();
+        if let Some(slots) = self.rx_ring_slots {
+            assert!(slots > 0, "FaultPlan: rx_ring_slots must be at least 1");
+        }
+        for w in &self.dma_down {
+            assert!(
+                w.from <= w.to,
+                "FaultPlan: dma_down window runs backwards ({:?} > {:?})",
+                w.from,
+                w.to
+            );
+        }
+        for c in self.crashes.iter().chain(&self.switch_crashes) {
+            assert!(
+                c.window.from <= c.window.to,
+                "FaultPlan: crash window for service {} runs backwards ({:?} > {:?})",
+                c.service,
+                c.window.from,
+                c.window.to
+            );
+        }
+        if let Some(flap) = &self.link_flap {
+            flap.validate();
+        }
     }
 }
 
@@ -241,10 +397,13 @@ impl FaultInjector {
         FaultInjector::default()
     }
 
-    /// Builds the injector for node `node`. An inactive plan yields an
-    /// inert injector, preserving the bit-identity contract.
+    /// Builds the injector for node `node`. A plan with no node-level
+    /// faults yields an inert injector, preserving the bit-identity
+    /// contract — fabric-only plans (link flaps, switch crashes) are the
+    /// fabric's business and must not wake per-node recovery timers.
     pub fn new(plan: &FaultPlan, node: u32) -> Self {
-        if !plan.is_active() {
+        plan.validate();
+        if !plan.has_node_faults() {
             return FaultInjector::inert();
         }
         FaultInjector {
@@ -459,5 +618,122 @@ mod tests {
     #[should_panic(expected = "backwards")]
     fn backwards_window_panics() {
         TimeWindow::new(SimTime::from_micros(2), SimTime::from_micros(1));
+    }
+
+    fn flap(flaps: u32) -> LinkFlapModel {
+        LinkFlapModel {
+            flaps_per_link: flaps,
+            down_for: SimDuration::from_micros(500),
+            horizon: SimTime::from_millis(30),
+        }
+    }
+
+    #[test]
+    fn fabric_only_plans_keep_node_injectors_inert() {
+        let plan = FaultPlan {
+            link_flap: Some(flap(2)),
+            switch_crashes: vec![CrashWindow {
+                service: 7,
+                window: TimeWindow::new(SimTime::from_micros(1), SimTime::from_micros(2)),
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(plan.is_active() && plan.has_fabric_faults());
+        assert!(!plan.has_node_faults());
+        // Per-node injectors must not arm recovery machinery for faults
+        // that live entirely inside the fabric.
+        assert!(!FaultInjector::new(&plan, 0).is_active());
+    }
+
+    #[test]
+    fn flap_windows_replay_and_are_per_link() {
+        let m = flap(4);
+        let a = m.windows(9, 3);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a, m.windows(9, 3), "same (seed, link) replays exactly");
+        assert_ne!(a, m.windows(9, 4), "links draw independent schedules");
+        assert_ne!(a, m.windows(10, 3), "seeds draw independent schedules");
+        for w in &a {
+            assert_eq!(w.to, w.from + SimDuration::from_micros(500));
+            assert!(w.from < SimTime::from_millis(30));
+        }
+    }
+
+    #[test]
+    fn more_flaps_extend_the_same_schedule() {
+        // The monotonicity backbone: n flaps are a prefix of n+1 flaps,
+        // so a higher rate only ever adds down-time.
+        let lo = flap(2).windows(42, 5);
+        let hi = flap(3).windows(42, 5);
+        assert_eq!(lo[..], hi[..2]);
+    }
+
+    #[test]
+    fn zero_flap_model_is_inactive() {
+        let m = LinkFlapModel {
+            flaps_per_link: 0,
+            down_for: SimDuration::ZERO,
+            horizon: SimTime::ZERO,
+        };
+        assert!(!m.is_active());
+        assert!(m.windows(1, 1).is_empty());
+        assert!(!FaultPlan {
+            link_flap: Some(m),
+            ..FaultPlan::none()
+        }
+        .is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn nan_loss_probability_panics() {
+        FaultInjector::new(&FaultPlan::bernoulli_loss(1, f64::NAN), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn negative_loss_probability_panics() {
+        let plan = FaultPlan {
+            loss: LossModel::GilbertElliott {
+                p_enter_bad: 0.1,
+                p_exit_bad: -0.2,
+                loss_good: 0.0,
+                loss_bad: 0.5,
+            },
+            ..FaultPlan::none()
+        };
+        FaultInjector::new(&plan, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "runs backwards")]
+    fn literal_backwards_crash_window_is_rejected() {
+        // Struct-literal windows bypass TimeWindow::new; validate() has
+        // to catch them at the consumer boundary.
+        let plan = FaultPlan {
+            crashes: vec![CrashWindow {
+                service: 1,
+                window: TimeWindow {
+                    from: SimTime::from_micros(2),
+                    to: SimTime::from_micros(1),
+                },
+            }],
+            ..FaultPlan::none()
+        };
+        FaultInjector::new(&plan, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "down_for must be positive")]
+    fn zero_length_flap_panics() {
+        let plan = FaultPlan {
+            link_flap: Some(LinkFlapModel {
+                flaps_per_link: 1,
+                down_for: SimDuration::ZERO,
+                horizon: SimTime::from_millis(1),
+            }),
+            ..FaultPlan::none()
+        };
+        plan.validate();
     }
 }

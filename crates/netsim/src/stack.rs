@@ -491,6 +491,38 @@ impl HostStack {
         self.cores.utilization_between(from, to)
     }
 
+    /// CPU *occupancy* across the node's cores in `[from, to)`:
+    /// utilization plus the spin cycles a polling receive mode burns on
+    /// its receive cores. A busy-polling core reads as mostly idle on the
+    /// utilization meter (spinning does no work), but its idle cycles are
+    /// not reclaimable — the poll loop owns them — so each core that
+    /// services a receive queue under a polling mode counts as occupied
+    /// for the whole window. Under a non-polling mode this equals
+    /// [`Self::cpu_utilization`]. The gap between the two, times the core
+    /// count, is the number of cores an operator could reclaim by
+    /// switching the node off busy-polling (see DESIGN.md §13).
+    pub fn cpu_occupancy(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from || self.cores.len() == 0 || !self.ioat.rx_mode.is_polling() {
+            return self.cpu_utilization(from, to);
+        }
+        let mut spinning = vec![false; self.cores.len()];
+        for port in &self.ports {
+            for q in 0..port.queues.len() {
+                spinning[self.rx_core_for(q)] = true;
+            }
+        }
+        let window = to - from;
+        let mut busy = SimDuration::ZERO;
+        for (core, &spin) in self.cores.members().iter().zip(&spinning) {
+            busy += if spin {
+                window
+            } else {
+                core.borrow().meter().busy_between(from, to)
+            };
+        }
+        busy.as_secs_f64() / (window.as_secs_f64() * self.cores.len() as f64)
+    }
+
     /// Bytes delivered to applications on this node during the window.
     pub fn delivered_bytes(&self) -> u64 {
         self.rx_meter.window_bytes()
@@ -1211,7 +1243,8 @@ fn raise_interrupt(s: &StackRef, sim: &mut Sim, port: usize, queue: usize) {
         // interrupt at all: the dedicated poller reaps descriptors from
         // its own context. (The poller's spin cycles burn a core but are
         // deliberately excluded from the utilization metric — see
-        // DESIGN.md §13 — so utilization keeps measuring *work*.)
+        // DESIGN.md §13 — so utilization keeps measuring *work*;
+        // `cpu_occupancy` reports the burned cores.)
         let irq_part = if st.ioat.rx_mode.is_polling() {
             SimDuration::ZERO
         } else {
@@ -1644,21 +1677,31 @@ fn finish_delivery(s: &StackRef, sim: &mut Sim, conn: ConnId, bytes: u64) {
 /// `quiescent` (event queue drained — nothing can be on the wire) the frame
 /// identity tightens to exact equality.
 pub fn audit_cluster_conservation(stacks: &[StackRef], now: SimTime, quiescent: bool) {
-    audit_cluster_conservation_ext(stacks, 0, now, quiescent);
+    audit_cluster_conservation_ext(stacks, 0, 0, now, quiescent);
 }
 
-/// [`audit_cluster_conservation`] extended with a fabric term:
+/// [`audit_cluster_conservation`] extended with the fabric terms:
 /// `switch_dropped` counts frames a [`FrameRouter`] tail-dropped at a full
-/// switch buffer after the sender's NIC put them on the wire. The identity
-/// becomes Σsent = Σarrived + Σlost + Σring-dropped + switch-dropped
-/// (+ in-flight when not quiescent).
+/// switch buffer after the sender's NIC put them on the wire, and
+/// `route_blackholed` counts frames the fabric dropped because no
+/// surviving equal-cost port led toward the destination (a flapped link
+/// or crashed switch severed every candidate). The identity becomes
+/// Σsent = Σarrived + Σlost + Σring-dropped + switch-dropped +
+/// route-blackholed (+ in-flight when not quiescent).
 pub fn audit_cluster_conservation_ext(
     stacks: &[StackRef],
     switch_dropped: u64,
+    route_blackholed: u64,
     now: SimTime,
     quiescent: bool,
 ) {
-    audit_cluster_conservation_sums(frame_totals(stacks), switch_dropped, now, quiescent);
+    audit_cluster_conservation_sums(
+        frame_totals(stacks),
+        switch_dropped,
+        route_blackholed,
+        now,
+        quiescent,
+    );
 }
 
 /// Frame/byte counters summed over a set of stacks — the terms of the
@@ -1714,6 +1757,7 @@ pub fn frame_totals(stacks: &[StackRef]) -> ClusterFrameTotals {
 pub fn audit_cluster_conservation_sums(
     totals: ClusterFrameTotals,
     switch_dropped: u64,
+    route_blackholed: u64,
     now: SimTime,
     quiescent: bool,
 ) {
@@ -1725,7 +1769,7 @@ pub fn audit_cluster_conservation_sums(
         tx_bytes,
         rx_bytes,
     } = totals;
-    let accounted = arrived + lost + ring_dropped + switch_dropped;
+    let accounted = arrived + lost + ring_dropped + switch_dropped + route_blackholed;
     let ok = if quiescent {
         sent == accounted
     } else {
@@ -1733,14 +1777,15 @@ pub fn audit_cluster_conservation_sums(
     };
     ioat_guard::check(
         "netsim/cluster",
-        "frame conservation: sent = arrived + lost + ring-dropped + switch-dropped + in-flight",
+        "frame conservation: sent = arrived + lost + ring-dropped + switch-dropped \
+         + route-blackholed + in-flight",
         now,
         ok,
         || {
             format!(
                 "frames_sent={sent} vs arrived={arrived} + lost={lost} + \
-                 ring_dropped={ring_dropped} + switch_dropped={switch_dropped} \
-                 (quiescent={quiescent})"
+                 ring_dropped={ring_dropped} + switch_dropped={switch_dropped} + \
+                 route_blackholed={route_blackholed} (quiescent={quiescent})"
             )
         },
     );
